@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the EDDO storage idioms: raw operation
+//! throughput and the Fig. 3 traversal scenarios (Tailor vs Buffet on
+//! fitting and overbooked tiles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tailors_eddo::replay::{replay_buffet, replay_tailor};
+use tailors_eddo::{Buffet, Tailor, TailorConfig};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eddo_ops");
+    g.throughput(Throughput::Elements(1024));
+
+    g.bench_function("buffet_fill_read_shrink", |b| {
+        b.iter(|| {
+            let mut buf: Buffet<u64> = Buffet::new(1024);
+            for i in 0..1024u64 {
+                buf.fill(i).unwrap();
+            }
+            let mut acc = 0u64;
+            for i in 0..1024usize {
+                acc = acc.wrapping_add(buf.read(i).unwrap());
+            }
+            buf.shrink(1024).unwrap();
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("tailor_fill_read_reset", |b| {
+        b.iter(|| {
+            let mut t: Tailor<u64> = Tailor::new(TailorConfig::new(1024, 64).unwrap());
+            t.set_tile_len(1024);
+            for i in 0..1024u64 {
+                t.fill(i).unwrap();
+            }
+            let mut acc = 0u64;
+            for i in 0..1024usize {
+                acc = acc.wrapping_add(t.read(i).unwrap());
+            }
+            t.reset_tile();
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("tailor_ow_fill_stream", |b| {
+        b.iter(|| {
+            let mut t: Tailor<u64> = Tailor::new(TailorConfig::new(1024, 64).unwrap());
+            t.set_tile_len(4096);
+            for i in 0..1024u64 {
+                t.fill(i).unwrap();
+            }
+            for i in 1024..4096u64 {
+                t.ow_fill(i).unwrap();
+            }
+            black_box(t.occupancy())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3_traversals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_traversal");
+    let tile: Vec<u64> = (0..4096).collect();
+    let passes = 8;
+    for (label, cap) in [("fitting", 8192usize), ("overbooked", 2048usize)] {
+        g.bench_with_input(BenchmarkId::new("tailor", label), &cap, |b, &cap| {
+            let config = TailorConfig::new(cap, cap / 8).unwrap();
+            b.iter(|| black_box(replay_tailor(&tile, config, passes).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("buffet", label), &cap, |b, &cap| {
+            b.iter(|| black_box(replay_buffet(&tile, cap, passes).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_fig3_traversals);
+criterion_main!(benches);

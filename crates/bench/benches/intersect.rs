@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the compute substrate: fiber intersection
+//! (ExTensor's core primitive), the reference SpMSpM, the analytical
+//! simulator itself, and the functional engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tailors_sim::functional::{run, FunctionalConfig};
+use tailors_sim::{ArchConfig, Variant};
+use tailors_tensor::gen::GenSpec;
+use tailors_tensor::ops::spmspm_a_at;
+
+fn bench_intersection(c: &mut Criterion) {
+    let a = GenSpec::uniform(1, 100_000, 10_000).seed(1).generate();
+    let b = GenSpec::uniform(1, 100_000, 10_000).seed(2).generate();
+    let (fa, fb) = (a.row(0), b.row(0));
+
+    let mut g = c.benchmark_group("fiber_intersection");
+    g.throughput(Throughput::Elements((fa.len() + fb.len()) as u64));
+    g.bench_function("two_finger_10k_x_10k", |bch| {
+        bch.iter(|| black_box(fa.intersect_counted(&fb)))
+    });
+    g.bench_function("dot_product_10k_x_10k", |bch| {
+        bch.iter(|| black_box(fa.dot(&fb)))
+    });
+    g.finish();
+}
+
+fn bench_spmspm(c: &mut Criterion) {
+    let a = GenSpec::power_law(2_000, 2_000, 20_000).seed(3).generate();
+    let mut g = c.benchmark_group("spmspm");
+    g.sample_size(10);
+    g.bench_function("reference_a_at_2k", |bch| {
+        bch.iter(|| black_box(spmspm_a_at(&a)))
+    });
+    g.bench_function("functional_engine_a_at_2k", |bch| {
+        let config = FunctionalConfig {
+            capacity: 2_048,
+            fifo_region: 256,
+            rows_a: 256,
+            cols_b: 256,
+            overbooking: true,
+        };
+        bch.iter(|| black_box(run(&a, &config).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let profile = GenSpec::power_law(200_000, 200_000, 2_000_000)
+        .seed(4)
+        .generate()
+        .profile();
+    let arch = ArchConfig::extensor();
+    let mut g = c.benchmark_group("analytical_simulator");
+    g.sample_size(20);
+    for v in [Variant::ExTensorN, Variant::ExTensorP, Variant::default_ob()] {
+        g.bench_function(v.name(), |bch| {
+            bch.iter(|| black_box(v.run(&profile, &arch)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_intersection, bench_spmspm, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the tiling layer: the wall-clock cost of each
+//! tiling strategy's tile-size search — the tiling tax made concrete.
+//! Swiftiles' sampling should be orders of magnitude cheaper than the
+//! prescient full-traversal search (Table 1's efficiency axis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tailors_core::swiftiles::SwiftilesConfig;
+use tailors_core::TilingStrategy;
+use tailors_tensor::gen::GenSpec;
+use tailors_tensor::tiling::RowPanels;
+
+fn bench_strategies(c: &mut Criterion) {
+    let profile = GenSpec::power_law(100_000, 100_000, 1_000_000)
+        .seed(7)
+        .generate()
+        .profile();
+    let capacity = 32_768;
+
+    let mut g = c.benchmark_group("tile_size_search");
+    g.sample_size(20);
+    g.bench_function("uniform_shape", |b| {
+        b.iter(|| black_box(TilingStrategy::UniformShape.choose(&profile, capacity)))
+    });
+    g.bench_function("prescient", |b| {
+        b.iter(|| {
+            black_box(TilingStrategy::PrescientUniformShape.choose(&profile, capacity))
+        })
+    });
+    g.bench_function("swiftiles_k10", |b| {
+        let config = SwiftilesConfig::new(0.10, 10).unwrap();
+        b.iter(|| black_box(TilingStrategy::Overbooked(config).choose(&profile, capacity)))
+    });
+    g.bench_function("swiftiles_sample_all", |b| {
+        let config = SwiftilesConfig::new(0.10, 10).unwrap().sample_all();
+        b.iter(|| black_box(TilingStrategy::Overbooked(config).choose(&profile, capacity)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("occupancy_scan");
+    g.bench_function("full_panel_scan_100k_rows", |b| {
+        b.iter(|| {
+            let panels = RowPanels::new(&profile, 512);
+            black_box(panels.occupancies().sum::<u64>())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Runs every figure/table reproduction in sequence (the full evaluation).
+//!
+//! Usage: `cargo run --release -p tailors-bench --bin run_all [scale]`
+//!
+//! At `scale = 1.0` (default) the workloads are generated at the paper's
+//! full dimensions; expect a few minutes, dominated by tensor generation.
+
+use std::process::Command;
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "1.0".to_string());
+    let bins = [
+        "table2", "fig1", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig13",
+    ];
+    for bin in bins {
+        println!();
+        println!("==================== {bin} ====================");
+        let status = Command::new(std::env::current_exe().expect("self path")
+            .parent().expect("bin dir").join(bin))
+            .arg(&scale)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e}"),
+        }
+    }
+}

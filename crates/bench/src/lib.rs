@@ -1,0 +1,162 @@
+//! Shared harness code for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper (see `DESIGN.md`'s per-experiment index). They all accept one
+//! optional positional argument: the workload scale factor in `(0, 1]`
+//! (default `1.0` = paper scale; use e.g. `0.03125` for a quick pass).
+//! Architecture capacities are scaled by the same factor so tensor-to-
+//! buffer ratios — and hence the evaluation's shape — are preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tailors_sim::{ArchConfig, RunMetrics, Variant};
+use tailors_tensor::MatrixProfile;
+use tailors_workloads::Workload;
+
+/// Results of running all three variants on one workload.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// The workload (already scaled).
+    pub workload: Workload,
+    /// The workload's occupancy profile.
+    pub profile: MatrixProfile,
+    /// ExTensor-N metrics.
+    pub n: RunMetrics,
+    /// ExTensor-P metrics.
+    pub p: RunMetrics,
+    /// ExTensor-OB metrics (y = 10 %, k = 10).
+    pub ob: RunMetrics,
+}
+
+impl SuiteRun {
+    /// Speedup of P over N (a Fig. 7 bar).
+    pub fn speedup_p(&self) -> f64 {
+        self.p.speedup_over(&self.n)
+    }
+
+    /// Speedup of OB over N (a Fig. 7 bar).
+    pub fn speedup_ob(&self) -> f64 {
+        self.ob.speedup_over(&self.n)
+    }
+
+    /// Energy gain of P over N (a Fig. 8 bar).
+    pub fn energy_gain_p(&self) -> f64 {
+        self.p.energy_gain_over(&self.n)
+    }
+
+    /// Energy gain of OB over N (a Fig. 8 bar).
+    pub fn energy_gain_ob(&self) -> f64 {
+        self.ob.energy_gain_over(&self.n)
+    }
+}
+
+/// Parses the scale factor from the first CLI argument (default 1.0).
+///
+/// # Panics
+///
+/// Panics with a usage message if the argument is present but not a number
+/// in `(0, 1]`.
+pub fn scale_from_args() -> f64 {
+    match std::env::args().nth(1) {
+        None => 1.0,
+        Some(s) => {
+            let v: f64 = s
+                .parse()
+                .unwrap_or_else(|_| panic!("usage: <bin> [scale in (0,1]], got {s:?}"));
+            assert!(v > 0.0 && v <= 1.0, "scale must be in (0, 1]");
+            v
+        }
+    }
+}
+
+/// The architecture used by every figure, scaled consistently.
+pub fn arch_at(scale: f64) -> ArchConfig {
+    ArchConfig::extensor().scaled(scale)
+}
+
+/// Generates one workload at `scale` and returns its profile.
+pub fn profile_at(workload: &Workload, scale: f64) -> (Workload, MatrixProfile) {
+    let scaled = workload.scaled(scale);
+    let profile = scaled.generate().profile();
+    (scaled, profile)
+}
+
+/// Runs the three variants over the whole 22-workload suite.
+pub fn simulate_suite(scale: f64) -> Vec<SuiteRun> {
+    let arch = arch_at(scale);
+    tailors_workloads::suite()
+        .into_iter()
+        .map(|wl| {
+            let (workload, profile) = profile_at(&wl, scale);
+            let n = Variant::ExTensorN.run(&profile, &arch);
+            let p = Variant::ExTensorP.run(&profile, &arch);
+            let ob = Variant::default_ob().run(&profile, &arch);
+            SuiteRun {
+                workload,
+                profile,
+                n,
+                p,
+                ob,
+            }
+        })
+        .collect()
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a count with thousands separators for table readability.
+pub fn fmt_count(v: u128) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// An ASCII bar of `frac` (clamped to `[0, 1]`) out of `width` cells.
+pub fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_count_groups_digits() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1,000");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(2.0, 3), "###");
+        assert_eq!(bar(-1.0, 3), "...");
+    }
+
+    #[test]
+    fn suite_run_smoke() {
+        // A very small scale keeps this test fast while exercising the
+        // whole pipeline.
+        let runs = simulate_suite(1.0 / 256.0);
+        assert_eq!(runs.len(), 22);
+        for r in &runs {
+            assert!(r.n.cycles > 0.0);
+            assert!(r.speedup_p() > 0.0);
+            assert!(r.speedup_ob() > 0.0);
+            assert!(r.energy_gain_ob() > 0.0);
+        }
+    }
+}

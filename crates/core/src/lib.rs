@@ -1,0 +1,55 @@
+//! The overbooking tiling layer of the Tailors (MICRO 2023) reproduction.
+//!
+//! This crate implements the paper's *tiling* contribution (its §4, plus the
+//! strategy taxonomy of §1-2):
+//!
+//! * [`swiftiles`] — the one-shot statistical tile sizer: an initial
+//!   estimate from global sparsity, a bounded sample of tile occupancies,
+//!   and a quantile-based scaling to hit a target overbooking rate `y`.
+//! * [`strategy`] — the four tiling strategies of Table 1 (uniform shape,
+//!   prescient uniform shape, uniform occupancy / position-space, and
+//!   overbooking) with a common interface that reports the chosen tile
+//!   size, the achieved buffer utilization, and the *tiling tax* each
+//!   strategy pays.
+//!
+//! # Example
+//!
+//! ```
+//! use tailors_core::swiftiles::{Swiftiles, SwiftilesConfig};
+//! use tailors_tensor::gen::GenSpec;
+//!
+//! let a = GenSpec::power_law(20_000, 20_000, 200_000).seed(1).generate();
+//! let profile = a.profile();
+//! let est = Swiftiles::new(SwiftilesConfig::new(0.10, 10)?)
+//!     .estimate(&profile, 4_096);
+//! // ~10% of tiles should overbook a 4096-nonzero buffer.
+//! assert!(est.rows_target >= 1);
+//! # Ok::<(), tailors_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod swiftiles;
+
+pub use strategy::{TileChoice, TilingStrategy, TilingTax};
+pub use swiftiles::{Swiftiles, SwiftilesConfig, SwiftilesEstimate};
+
+/// Errors produced by the tiling layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An invalid parameter was supplied.
+    BadParameter(&'static str),
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

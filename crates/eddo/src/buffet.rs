@@ -1,0 +1,248 @@
+//! The buffet storage idiom (Pellauer et al., ASPLOS 2019).
+
+use crate::{AccessStats, EddoError};
+
+/// A buffet: a credit-synchronized queue with random read/update access
+/// relative to the head (§3.2).
+///
+/// The four buffet operations are:
+///
+/// * **Fill(Data)** — append new data at the tail ([`Buffet::fill`]).
+/// * **Read(Index)** — random access at `head + Index` ([`Buffet::read`]).
+/// * **Update(Index, Data)** — in-place modify ([`Buffet::update`]).
+/// * **Shrink(Num)** — retire `Num` elements from the head, releasing
+///   credits ([`Buffet::shrink`]).
+///
+/// The buffet behaves as a sliding window over a data stream: it can only
+/// free the *oldest* data. The paper's key observation (Fig. 3) is that this
+/// makes buffets unable to retain any reuse once a tile's reuse window
+/// exceeds the buffer: they must drop everything and refill per traversal.
+/// [`crate::Tailor`] fixes exactly that.
+///
+/// # Example
+///
+/// ```
+/// use tailors_eddo::Buffet;
+///
+/// let mut b = Buffet::new(3);
+/// b.fill(10)?;
+/// b.fill(20)?;
+/// assert_eq!(b.read(1)?, 20);
+/// b.update(0, 11)?;
+/// b.shrink(1)?;              // retire the head
+/// assert_eq!(b.read(0)?, 20); // indices are head-relative
+/// # Ok::<(), tailors_eddo::EddoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Buffet<T> {
+    /// Physical storage, used as a ring.
+    slots: Vec<Option<T>>,
+    /// Physical position of logical index 0.
+    head: usize,
+    /// Number of valid elements.
+    occupancy: usize,
+    stats: AccessStats,
+}
+
+impl<T: Clone> Buffet<T> {
+    /// Creates a buffet with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffet capacity must be positive");
+        Buffet {
+            slots: vec![None; capacity],
+            head: 0,
+            occupancy: 0,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current occupancy in elements.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Remaining credits (free slots the parent may fill).
+    pub fn credits(&self) -> usize {
+        self.capacity() - self.occupancy
+    }
+
+    /// Whether the buffet is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.occupancy == self.capacity()
+    }
+
+    /// Whether the buffet holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy == 0
+    }
+
+    /// **Fill(Data)**: appends `value` at the tail of the queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EddoError::Full`] when no credits remain (in hardware the
+    /// parent would simply not have been granted the credit).
+    pub fn fill(&mut self, value: T) -> Result<(), EddoError> {
+        if self.is_full() {
+            return Err(EddoError::Full);
+        }
+        let pos = self.physical(self.occupancy);
+        self.slots[pos] = Some(value);
+        self.occupancy += 1;
+        self.stats.fills += 1;
+        Ok(())
+    }
+
+    /// **Read(Index)**: returns the element at `head + index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EddoError::NotYetFilled`] if `index` is at or beyond the
+    /// tail (in hardware the read would stall until the fill arrives).
+    pub fn read(&mut self, index: usize) -> Result<T, EddoError> {
+        if index >= self.occupancy {
+            self.stats.read_misses += 1;
+            return Err(EddoError::NotYetFilled { index });
+        }
+        let pos = self.physical(index);
+        self.stats.reads += 1;
+        Ok(self.slots[pos].clone().expect("occupied slot holds data"))
+    }
+
+    /// **Update(Index, Data)**: overwrites the element at `head + index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EddoError::NotYetFilled`] if `index` is at or beyond the
+    /// tail.
+    pub fn update(&mut self, index: usize, value: T) -> Result<(), EddoError> {
+        if index >= self.occupancy {
+            return Err(EddoError::NotYetFilled { index });
+        }
+        let pos = self.physical(index);
+        self.slots[pos] = Some(value);
+        self.stats.updates += 1;
+        Ok(())
+    }
+
+    /// **Shrink(Num)**: retires `num` elements from the head, releasing
+    /// `num` credits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EddoError::ShrinkTooLarge`] if `num` exceeds occupancy.
+    pub fn shrink(&mut self, num: usize) -> Result<(), EddoError> {
+        if num > self.occupancy {
+            return Err(EddoError::ShrinkTooLarge {
+                requested: num,
+                occupancy: self.occupancy,
+            });
+        }
+        for i in 0..num {
+            let pos = self.physical(i);
+            self.slots[pos] = None;
+        }
+        self.head = (self.head + num) % self.capacity();
+        self.occupancy -= num;
+        self.stats.shrunk += num as u64;
+        Ok(())
+    }
+
+    /// Access counters accumulated so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Logical-to-physical index mapping.
+    fn physical(&self, index: usize) -> usize {
+        (self.head + index) % self.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_read_update_shrink_roundtrip() {
+        let mut b = Buffet::new(4);
+        for i in 0..4 {
+            b.fill(i * 10).unwrap();
+        }
+        assert!(b.is_full());
+        assert_eq!(b.fill(99), Err(EddoError::Full));
+        assert_eq!(b.read(2).unwrap(), 20);
+        b.update(2, 21).unwrap();
+        assert_eq!(b.read(2).unwrap(), 21);
+        b.shrink(2).unwrap();
+        // Indices are head-relative: old index 2 is now index 0.
+        assert_eq!(b.read(0).unwrap(), 21);
+        assert_eq!(b.credits(), 2);
+    }
+
+    #[test]
+    fn ring_wraps_across_shrink_fill_cycles() {
+        let mut b = Buffet::new(3);
+        b.fill('a').unwrap();
+        b.fill('b').unwrap();
+        b.fill('c').unwrap();
+        b.shrink(2).unwrap();
+        b.fill('d').unwrap();
+        b.fill('e').unwrap(); // wraps physically
+        assert_eq!(b.read(0).unwrap(), 'c');
+        assert_eq!(b.read(1).unwrap(), 'd');
+        assert_eq!(b.read(2).unwrap(), 'e');
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn read_beyond_tail_is_a_stall() {
+        let mut b: Buffet<u8> = Buffet::new(2);
+        b.fill(1).unwrap();
+        assert_eq!(b.read(1), Err(EddoError::NotYetFilled { index: 1 }));
+        assert_eq!(b.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn shrink_too_large_is_rejected() {
+        let mut b: Buffet<u8> = Buffet::new(2);
+        b.fill(1).unwrap();
+        assert_eq!(
+            b.shrink(2),
+            Err(EddoError::ShrinkTooLarge {
+                requested: 2,
+                occupancy: 1
+            })
+        );
+        // State untouched.
+        assert_eq!(b.occupancy(), 1);
+    }
+
+    #[test]
+    fn update_beyond_tail_is_rejected() {
+        let mut b: Buffet<u8> = Buffet::new(2);
+        assert_eq!(b.update(0, 5), Err(EddoError::NotYetFilled { index: 0 }));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = Buffet::new(2);
+        b.fill(1).unwrap();
+        b.fill(2).unwrap();
+        let _ = b.read(0);
+        let _ = b.read(5);
+        b.update(1, 3).unwrap();
+        b.shrink(1).unwrap();
+        let s = b.stats();
+        assert_eq!((s.fills, s.reads, s.read_misses, s.updates, s.shrunk), (2, 1, 1, 1, 1));
+    }
+}

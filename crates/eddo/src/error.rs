@@ -1,0 +1,76 @@
+//! Error type shared by the EDDO storage idioms.
+
+/// Errors returned by EDDO buffer operations.
+///
+/// In hardware most of these conditions *stall* rather than fail; in this
+/// discrete simulation they surface as errors so a driver can decide what to
+/// do (e.g. issue the missing fill and retry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EddoError {
+    /// A fill arrived while the buffer had no free credits.
+    Full,
+    /// A pop/peek arrived while the buffer was empty.
+    Empty,
+    /// A read/update referenced an index that has not been filled yet.
+    /// In hardware this read would stall until the data arrives.
+    NotYetFilled {
+        /// The requested tile index.
+        index: usize,
+    },
+    /// A read referenced data that was bumped out of an overbooked buffer
+    /// and is not currently in the streaming window; the parent must
+    /// re-stream it via overwriting fills.
+    Bumped {
+        /// The requested tile index.
+        index: usize,
+    },
+    /// A shrink asked to retire more elements than are resident.
+    ShrinkTooLarge {
+        /// Requested number of elements to retire.
+        requested: usize,
+        /// Current occupancy.
+        occupancy: usize,
+    },
+    /// An overwriting fill was issued while the buffer was not full.
+    /// Overwriting fills are only legal on a full buffer (§3.3.2: this is
+    /// what prevents fill/OWFill races).
+    NotFull,
+    /// An overwriting fill was issued before the tile length was declared
+    /// via [`crate::Tailor::set_tile_len`].
+    TileLenUnknown,
+    /// An invalid configuration was supplied (e.g. a FIFO region at least as
+    /// large as the whole buffer).
+    BadConfig(&'static str),
+}
+
+impl core::fmt::Display for EddoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EddoError::Full => write!(f, "buffer is full (no credits available)"),
+            EddoError::Empty => write!(f, "buffer is empty"),
+            EddoError::NotYetFilled { index } => {
+                write!(f, "index {index} has not been filled yet")
+            }
+            EddoError::Bumped { index } => {
+                write!(f, "index {index} was bumped and is not in the streaming window")
+            }
+            EddoError::ShrinkTooLarge {
+                requested,
+                occupancy,
+            } => write!(
+                f,
+                "cannot shrink {requested} elements from occupancy {occupancy}"
+            ),
+            EddoError::NotFull => {
+                write!(f, "overwriting fill requires a full buffer")
+            }
+            EddoError::TileLenUnknown => {
+                write!(f, "tile length must be declared before overwriting fills")
+            }
+            EddoError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EddoError {}

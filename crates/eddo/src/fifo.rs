@@ -1,0 +1,171 @@
+//! The FIFO storage idiom.
+
+use std::collections::VecDeque;
+
+use crate::{AccessStats, EddoError};
+
+/// A bounded first-in first-out queue — the simplest EDDO idiom (§3.2).
+///
+/// FIFOs restrict both access order and replacement policy to
+/// first-in-first-out, which makes them cheap and trivially composable but
+/// unusable when a dataflow needs multiple accesses within a tile. They
+/// appear here both as the baseline idiom and as the building block of the
+/// streaming region inside a [`crate::Tailor`].
+///
+/// # Example
+///
+/// ```
+/// use tailors_eddo::Fifo;
+///
+/// let mut f = Fifo::new(2);
+/// f.push(10)?;
+/// f.push(20)?;
+/// assert!(f.push(30).is_err()); // bounded
+/// assert_eq!(f.pop()?, 10);
+/// # Ok::<(), tailors_eddo::EddoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    stats: AccessStats,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy in elements.
+    pub fn occupancy(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Remaining credits (free slots).
+    pub fn credits(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
+    /// Whether the FIFO holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Enqueues an element at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EddoError::Full`] when no credits remain.
+    pub fn push(&mut self, value: T) -> Result<(), EddoError> {
+        if self.is_full() {
+            return Err(EddoError::Full);
+        }
+        self.queue.push_back(value);
+        self.stats.fills += 1;
+        Ok(())
+    }
+
+    /// Dequeues the head element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EddoError::Empty`] when nothing is enqueued.
+    pub fn pop(&mut self) -> Result<T, EddoError> {
+        let v = self.queue.pop_front().ok_or(EddoError::Empty)?;
+        self.stats.reads += 1;
+        self.stats.shrunk += 1;
+        Ok(v)
+    }
+
+    /// Peeks at the head element without removing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EddoError::Empty`] when nothing is enqueued.
+    pub fn peek(&self) -> Result<&T, EddoError> {
+        self.queue.front().ok_or(EddoError::Empty)
+    }
+
+    /// Access counters accumulated so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_order_is_fifo() {
+        let mut f = Fifo::new(3);
+        for i in 0..3 {
+            f.push(i).unwrap();
+        }
+        assert!(f.is_full());
+        assert_eq!(f.credits(), 0);
+        for i in 0..3 {
+            assert_eq!(f.pop().unwrap(), i);
+        }
+        assert!(f.is_empty());
+        assert_eq!(f.pop(), Err(EddoError::Empty));
+    }
+
+    #[test]
+    fn push_when_full_errors() {
+        let mut f = Fifo::new(1);
+        f.push(1).unwrap();
+        assert_eq!(f.push(2), Err(EddoError::Full));
+        // The failed push must not corrupt state.
+        assert_eq!(f.occupancy(), 1);
+        assert_eq!(*f.peek().unwrap(), 1);
+    }
+
+    #[test]
+    fn credits_track_free_slots() {
+        let mut f = Fifo::new(4);
+        assert_eq!(f.credits(), 4);
+        f.push('x').unwrap();
+        assert_eq!(f.credits(), 3);
+        f.pop().unwrap();
+        assert_eq!(f.credits(), 4);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut f = Fifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop().unwrap();
+        let s = f.stats();
+        assert_eq!(s.fills, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.shrunk, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

@@ -1,0 +1,60 @@
+//! EDDO storage idioms for the Tailors (MICRO 2023) reproduction.
+//!
+//! *Explicit decoupled data orchestration* (EDDO) buffers data movement
+//! under workload control: fills are pushed by a parent memory level,
+//! reads/updates serve a child, and shrinks retire data the workload is
+//! done with. This crate implements the three storage idioms the paper
+//! discusses:
+//!
+//! * [`Fifo`] — the classic queue idiom: first-in first-out, no random
+//!   access, cheap and composable but unusable for tensor-algebra reuse.
+//! * [`Buffet`] — Pellauer et al.'s buffet idiom: a queue that supports
+//!   random **Read(Index)**/**Update(Index, Data)** relative to the head,
+//!   **Fill(Data)** at the tail, and **Shrink(Num)** from the head, with
+//!   credit-based synchronization.
+//! * [`Tailor`] — the paper's contribution: a buffet extended with the
+//!   **overwriting fill** (`OWFill`). When a tile *overbooks* the buffer
+//!   (occupancy > capacity), the Tailor splits itself into a buffet-managed
+//!   resident region (head side, keeps full reuse) and a FIFO-managed
+//!   streaming region of configurable size at the tail through which the
+//!   bumped remainder of the tile cycles. Index translation via the *FIFO
+//!   offset* preserves buffet read semantics (§3.3.2, Fig. 5).
+//!
+//! [`replay`] builds on these to replay whole-tile traversals and count
+//! parent refetch traffic — the Fig. 3 comparison and the per-tile reuse
+//! accounting used by the accelerator model in `tailors-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use tailors_eddo::{Tailor, TailorConfig};
+//!
+//! // A buffer of 4 slots with a 2-slot streaming region (Fig. 5 setup).
+//! let mut t: Tailor<char> = Tailor::new(TailorConfig::new(4, 2)?);
+//! t.set_tile_len(6);
+//! for ch in ['a', 'b', 'c', 'd'] {
+//!     t.fill(ch)?;
+//! }
+//! t.ow_fill('e')?; // buffer is full: splits into resident [a, b] + FIFO
+//! t.ow_fill('f')?;
+//! assert_eq!(t.read(0)?, 'a'); // resident data keeps its reuse
+//! assert_eq!(t.read(5)?, 'f'); // bumped data is served from the FIFO tail
+//! # Ok::<(), tailors_eddo::EddoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffet;
+mod error;
+mod fifo;
+mod stats;
+mod tailor;
+
+pub mod replay;
+
+pub use buffet::Buffet;
+pub use error::EddoError;
+pub use fifo::Fifo;
+pub use stats::AccessStats;
+pub use tailor::{Tailor, TailorConfig};

@@ -1,0 +1,79 @@
+//! Access counters shared by the storage idioms.
+
+/// Operation counters for a storage idiom instance.
+///
+/// These are the raw activity counts the accelerator model turns into
+/// energy: every fill corresponds to a write from the parent level and
+/// every read to an access by the child level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Conventional fills (writes of new data at the tail).
+    pub fills: u64,
+    /// Overwriting fills (streaming writes into the FIFO-managed region).
+    pub ow_fills: u64,
+    /// Successful reads.
+    pub reads: u64,
+    /// Reads that failed because the data was bumped or not yet filled.
+    pub read_misses: u64,
+    /// In-place updates.
+    pub updates: u64,
+    /// Elements retired by shrinks.
+    pub shrunk: u64,
+}
+
+impl AccessStats {
+    /// Total writes from the parent (fills + overwriting fills) — the
+    /// buffer's inbound traffic in elements.
+    pub fn parent_traffic(&self) -> u64 {
+        self.fills + self.ow_fills
+    }
+
+    /// Merges counters from another instance (for aggregating hierarchies).
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.fills += other.fills;
+        self.ow_fills += other.ow_fills;
+        self.reads += other.reads;
+        self.read_misses += other.read_misses;
+        self.updates += other.updates;
+        self.shrunk += other.shrunk;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_traffic_sums_fill_kinds() {
+        let s = AccessStats {
+            fills: 3,
+            ow_fills: 5,
+            ..AccessStats::default()
+        };
+        assert_eq!(s.parent_traffic(), 8);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = AccessStats {
+            fills: 1,
+            ow_fills: 2,
+            reads: 3,
+            read_misses: 4,
+            updates: 5,
+            shrunk: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(
+            a,
+            AccessStats {
+                fills: 2,
+                ow_fills: 4,
+                reads: 6,
+                read_misses: 8,
+                updates: 10,
+                shrunk: 12,
+            }
+        );
+    }
+}

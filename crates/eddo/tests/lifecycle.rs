@@ -1,0 +1,116 @@
+//! Multi-tile lifecycle tests: a Tailor reused across many tiles, mixed
+//! fitting and overbooked, mirrors how the accelerator drives one buffer
+//! through a whole workload.
+
+use tailors_eddo::{EddoError, Tailor, TailorConfig};
+
+fn drive_tile(t: &mut Tailor<u32>, tile: &[u32]) -> u64 {
+    t.set_tile_len(tile.len());
+    let mut fetches = 0;
+    for (i, &v) in tile.iter().enumerate() {
+        loop {
+            match t.read(i) {
+                Ok(got) => {
+                    assert_eq!(got, v, "wrong data at index {i}");
+                    break;
+                }
+                Err(EddoError::NotYetFilled { .. }) => match t.fill(tile[t.occupancy()]) {
+                    Ok(()) => fetches += 1,
+                    Err(EddoError::Full) => {
+                        let idx = t.next_stream_index().unwrap_or(t.occupancy());
+                        t.ow_fill(tile[idx]).unwrap();
+                        fetches += 1;
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                },
+                Err(EddoError::Bumped { .. }) => {
+                    let idx = t.next_stream_index().expect("overbooked");
+                    t.ow_fill(tile[idx]).unwrap();
+                    fetches += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+    }
+    fetches
+}
+
+#[test]
+fn alternating_fitting_and_overbooked_tiles() {
+    let config = TailorConfig::new(16, 4).unwrap();
+    let mut t: Tailor<u32> = Tailor::new(config);
+    // Tiles of alternating sizes: 8 (fits), 40 (overbooks), 16 (exactly
+    // fits), 17 (barely overbooks).
+    for (len, should_overbook) in [(8usize, false), (40, true), (16, false), (17, true)] {
+        let tile: Vec<u32> = (0..len as u32).collect();
+        let fetches = drive_tile(&mut t, &tile);
+        assert_eq!(t.is_overbooked(), should_overbook, "len {len}");
+        assert_eq!(fetches, len as u64, "first traversal fetches the tile once");
+        // Retire the tile as the dataflow would.
+        let occ = t.occupancy();
+        t.shrink(occ).unwrap();
+        assert_eq!(t.occupancy(), 0);
+    }
+}
+
+#[test]
+fn stats_accumulate_across_tiles() {
+    let config = TailorConfig::new(8, 2).unwrap();
+    let mut t: Tailor<u32> = Tailor::new(config);
+    let tile_a: Vec<u32> = (0..6).collect();
+    let tile_b: Vec<u32> = (0..20).collect();
+    let f1 = drive_tile(&mut t, &tile_a);
+    let f2 = drive_tile(&mut t, &tile_b);
+    let s = t.stats();
+    assert_eq!(s.parent_traffic(), f1 + f2);
+    assert_eq!(s.fills, 6 + 8); // conventional fills until full
+    assert_eq!(s.ow_fills, 12); // the overbooked remainder of tile_b
+}
+
+#[test]
+fn set_tile_len_discards_previous_tile() {
+    let config = TailorConfig::new(8, 2).unwrap();
+    let mut t: Tailor<u32> = Tailor::new(config);
+    let tile: Vec<u32> = (100..120).collect();
+    drive_tile(&mut t, &tile);
+    assert!(t.is_overbooked());
+    // Declaring a new tile resets everything, including overbooked mode.
+    t.set_tile_len(4);
+    assert!(!t.is_overbooked());
+    assert_eq!(t.occupancy(), 0);
+    assert_eq!(t.credits(), 8);
+    t.fill(7).unwrap();
+    assert_eq!(t.read(0).unwrap(), 7);
+}
+
+#[test]
+fn repeated_traversals_converge_to_steady_state_traffic() {
+    // After the first traversal, every further traversal of an overbooked
+    // tile costs exactly the bumped remainder.
+    let config = TailorConfig::new(10, 3).unwrap();
+    let tile: Vec<u32> = (0..25).collect();
+    let mut t: Tailor<u32> = Tailor::new(config);
+    let first = drive_tile(&mut t, &tile);
+    assert_eq!(first, 25);
+    let resident = config.resident_region() as u64; // 7
+    for pass in 0..4 {
+        let before = t.stats().parent_traffic();
+        for (i, &v) in tile.iter().enumerate() {
+            loop {
+                match t.read(i) {
+                    Ok(got) => {
+                        assert_eq!(got, v);
+                        break;
+                    }
+                    Err(EddoError::Bumped { .. }) => {
+                        let idx = t.next_stream_index().unwrap();
+                        t.ow_fill(tile[idx]).unwrap();
+                    }
+                    Err(e) => panic!("unexpected {e} in pass {pass}"),
+                }
+            }
+        }
+        let delta = t.stats().parent_traffic() - before;
+        assert_eq!(delta, 25 - resident, "steady-state pass cost");
+    }
+}

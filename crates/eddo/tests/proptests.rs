@@ -1,0 +1,177 @@
+//! Property-based tests for the EDDO storage idioms.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use tailors_eddo::replay::{
+    buffet_fetch_model, replay_buffet, replay_tailor, tailor_fetch_model,
+};
+use tailors_eddo::{Buffet, EddoError, Tailor, TailorConfig};
+
+proptest! {
+    /// A Tailor driven through sequential traversals always returns the
+    /// right data (asserted inside the replay) and its parent traffic always
+    /// matches the closed-form model used by the analytical simulator.
+    #[test]
+    fn tailor_replay_matches_model(
+        len in 1usize..80,
+        cap in 2usize..40,
+        fifo_frac in 1usize..100,
+        passes in 0u64..6,
+    ) {
+        let fifo = (cap * fifo_frac / 100).clamp(1, cap - 1);
+        let tile: Vec<u32> = (0..len as u32).collect();
+        let config = TailorConfig::new(cap, fifo).unwrap();
+        let report = replay_tailor(&tile, config, passes).unwrap();
+        prop_assert_eq!(
+            report.parent_fetches,
+            tailor_fetch_model(len as u64, config, passes)
+        );
+        prop_assert_eq!(report.reads, passes * len as u64);
+    }
+
+    /// Buffet traversal traffic matches its closed-form model.
+    #[test]
+    fn buffet_replay_matches_model(
+        len in 1usize..80,
+        cap in 1usize..40,
+        passes in 0u64..6,
+    ) {
+        let tile: Vec<u32> = (0..len as u32).collect();
+        let report = replay_buffet(&tile, cap, passes).unwrap();
+        prop_assert_eq!(
+            report.parent_fetches,
+            buffet_fetch_model(len as u64, cap as u64, passes)
+        );
+    }
+
+    /// A Tailor never outperforms physics: parent fetches are at least the
+    /// tile length (compulsory traffic) and at most the buffet's traffic.
+    #[test]
+    fn tailor_traffic_is_bounded(
+        len in 1usize..60,
+        cap in 2usize..30,
+        passes in 1u64..6,
+    ) {
+        let fifo = (cap / 3).max(1).min(cap - 1);
+        let tile: Vec<u32> = (0..len as u32).collect();
+        let config = TailorConfig::new(cap, fifo).unwrap();
+        let tailor = replay_tailor(&tile, config, passes).unwrap();
+        let buffet = replay_buffet(&tile, cap, passes).unwrap();
+        prop_assert!(tailor.parent_fetches >= len as u64);
+        prop_assert!(tailor.parent_fetches <= buffet.parent_fetches);
+    }
+
+    /// Buffet against a reference model (a plain VecDeque sliding window)
+    /// under random operation sequences.
+    #[test]
+    fn buffet_matches_reference_model(ops in proptest::collection::vec(0u8..4, 1..200)) {
+        let cap = 8usize;
+        let mut b: Buffet<u64> = Buffet::new(cap);
+        let mut reference: VecDeque<u64> = VecDeque::new();
+        let mut next_value = 0u64;
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                0 => {
+                    // Fill.
+                    let r = b.fill(next_value);
+                    if reference.len() < cap {
+                        prop_assert!(r.is_ok());
+                        reference.push_back(next_value);
+                    } else {
+                        prop_assert_eq!(r, Err(EddoError::Full));
+                    }
+                    next_value += 1;
+                }
+                1 => {
+                    // Read a pseudo-random index.
+                    let idx = step % cap;
+                    let r = b.read(idx);
+                    match reference.get(idx) {
+                        Some(&v) => prop_assert_eq!(r, Ok(v)),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                2 => {
+                    // Update a pseudo-random index.
+                    let idx = step % cap;
+                    let r = b.update(idx, 9_000 + step as u64);
+                    if idx < reference.len() {
+                        prop_assert!(r.is_ok());
+                        reference[idx] = 9_000 + step as u64;
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                _ => {
+                    // Shrink 1.
+                    let r = b.shrink(1);
+                    if reference.is_empty() {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        reference.pop_front();
+                    }
+                }
+            }
+            prop_assert_eq!(b.occupancy(), reference.len());
+            prop_assert_eq!(b.credits(), cap - reference.len());
+        }
+    }
+
+    /// A Tailor's occupancy never exceeds its capacity, whatever the driver
+    /// does.
+    #[test]
+    fn tailor_occupancy_bounded(ops in proptest::collection::vec(0u8..3, 1..150)) {
+        let config = TailorConfig::new(6, 2).unwrap();
+        let mut t: Tailor<u64> = Tailor::new(config);
+        t.set_tile_len(32);
+        let mut v = 0u64;
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                0 => {
+                    let _ = t.fill(v);
+                    v += 1;
+                }
+                1 => {
+                    let _ = t.ow_fill(v);
+                    v += 1;
+                }
+                _ => {
+                    let _ = t.read(step % 32);
+                }
+            }
+            prop_assert!(t.occupancy() <= t.capacity());
+        }
+    }
+
+    /// Index translation consistency: whenever a bumped index is resident in
+    /// the window, the paper's `Index - FIFO Offset` translation — taken
+    /// modulo the streaming cycle period `tile_len - resident` once the
+    /// stream wraps — agrees with the Tailor's positional bookkeeping.
+    #[test]
+    fn tailor_translation_formula_holds(
+        len in 7usize..40,
+        n_owfills in 1usize..60,
+    ) {
+        let config = TailorConfig::new(6, 2).unwrap();
+        let mut t: Tailor<u32> = Tailor::new(config);
+        t.set_tile_len(len);
+        for i in 0..6u32 {
+            t.fill(i).unwrap();
+        }
+        let period = (len - config.resident_region()) as isize;
+        for _ in 0..n_owfills {
+            let idx = t.next_stream_index().unwrap_or(6);
+            t.ow_fill(idx as u32).unwrap();
+            for index in t.fifo_head()..len {
+                if let Some(offset) = t.buffer_offset(index) {
+                    let oldest = t.fifo_offset() + t.fifo_head();
+                    let formula = t.fifo_head()
+                        + (index as isize - oldest as isize).rem_euclid(period) as usize;
+                    prop_assert_eq!(offset, formula, "index {}", index);
+                }
+            }
+        }
+    }
+}

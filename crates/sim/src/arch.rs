@@ -1,0 +1,201 @@
+//! Architecture configuration for the modeled ExTensor-class accelerator.
+
+/// Configuration of the modeled accelerator (paper §5.2: ExTensor at 1 GHz,
+/// 30 MB global buffer, 128 PEs, 68.25 GB/s aggregate DRAM bandwidth).
+///
+/// Capacities are expressed in *element slots*: one slot holds one nonzero's
+/// value plus its coordinate metadata (see
+/// [`ArchConfig::bytes_per_element`]).
+///
+/// # Example
+///
+/// ```
+/// use tailors_sim::ArchConfig;
+///
+/// let arch = ArchConfig::extensor();
+/// assert_eq!(arch.pe_count, 128);
+/// assert!(arch.gb_capacity_elems() > 2_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchConfig {
+    /// Global buffer capacity in bytes (paper: 30 MB).
+    pub gb_bytes: u64,
+    /// Per-PE buffer capacity in bytes (64 KB, in line with ExTensor's
+    /// PE-local storage).
+    pub pe_buf_bytes: u64,
+    /// Number of processing elements (paper: 128).
+    pub pe_count: u64,
+    /// Bytes per stored element: value plus compressed coordinate metadata.
+    pub bytes_per_element: u64,
+    /// DRAM bandwidth in bytes per cycle (68.25 GB/s at 1 GHz ≈ 68.25
+    /// B/cycle).
+    pub dram_bytes_per_cycle: f64,
+    /// Global-buffer read bandwidth in elements per cycle (aggregate across
+    /// banks).
+    pub gb_elems_per_cycle: f64,
+    /// Aggregate intersection-unit throughput in coordinates scanned per
+    /// cycle (one two-finger step per PE per cycle).
+    pub isect_coords_per_cycle: f64,
+    /// MACs per PE per cycle.
+    pub macs_per_pe_per_cycle: f64,
+    /// Fraction of each operand buffer dedicated to the `A` operand; the
+    /// same fraction goes to `B` and the remainder holds outputs and
+    /// coordinate scratch.
+    pub operand_fraction: f64,
+    /// DRAM round-trip latency in cycles (sizes the Tailors FIFO region at
+    /// the global buffer, §3.3.1).
+    pub dram_latency_cycles: u64,
+    /// GB round-trip latency in cycles (sizes the PE-level FIFO regions).
+    pub gb_latency_cycles: u64,
+}
+
+impl ArchConfig {
+    /// The paper's normalized ExTensor configuration (§5.2).
+    pub fn extensor() -> Self {
+        ArchConfig {
+            gb_bytes: 30 * 1024 * 1024,
+            pe_buf_bytes: 64 * 1024,
+            pe_count: 128,
+            bytes_per_element: 12, // 8 B value + 4 B compressed coordinate
+            dram_bytes_per_cycle: 68.25,
+            gb_elems_per_cycle: 256.0,
+            isect_coords_per_cycle: 2.0 * 128.0,
+            macs_per_pe_per_cycle: 1.0,
+            operand_fraction: 0.4,
+            dram_latency_cycles: 100,
+            gb_latency_cycles: 10,
+        }
+    }
+
+    /// Scales the storage capacities by `factor`, keeping bandwidths and
+    /// PE count. Pairing this with [`tailors_workloads::Workload::scaled`]
+    /// (same factor) preserves the tensor-to-buffer size ratios — and hence
+    /// the evaluation's shape — in quick runs.
+    ///
+    /// [`tailors_workloads::Workload::scaled`]:
+    /// https://docs.rs/tailors-workloads
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
+        let mut a = *self;
+        a.gb_bytes = ((self.gb_bytes as f64 * factor) as u64).max(64 * self.bytes_per_element);
+        a.pe_buf_bytes =
+            ((self.pe_buf_bytes as f64 * factor) as u64).max(16 * self.bytes_per_element);
+        a
+    }
+
+    /// A small configuration for unit tests and the functional engine
+    /// (single PE, kilobyte-scale buffers).
+    pub fn tiny(gb_elems: u64, pe_elems: u64) -> Self {
+        let mut a = Self::extensor();
+        a.gb_bytes = gb_elems * a.bytes_per_element;
+        a.pe_buf_bytes = pe_elems * a.bytes_per_element;
+        a.pe_count = 1;
+        a
+    }
+
+    /// Global-buffer capacity in element slots.
+    pub fn gb_capacity_elems(&self) -> u64 {
+        self.gb_bytes / self.bytes_per_element
+    }
+
+    /// Per-PE buffer capacity in element slots.
+    pub fn pe_capacity_elems(&self) -> u64 {
+        self.pe_buf_bytes / self.bytes_per_element
+    }
+
+    /// Element slots of the global buffer allocated to one operand's tile.
+    pub fn gb_operand_capacity(&self) -> u64 {
+        ((self.gb_capacity_elems() as f64) * self.operand_fraction).floor() as u64
+    }
+
+    /// Element slots of one PE buffer allocated to one operand's subtile.
+    pub fn pe_operand_capacity(&self) -> u64 {
+        ((self.pe_capacity_elems() as f64) * self.operand_fraction).floor() as u64
+    }
+
+    /// Aggregate PE-level operand capacity across all PEs — the budget a
+    /// global-buffer tile is subdivided against.
+    pub fn pe_array_operand_capacity(&self) -> u64 {
+        self.pe_operand_capacity() * self.pe_count
+    }
+
+    /// Effective capacity that bounds one operand's working tile: the
+    /// global-buffer partition or the double-buffered PE-array aggregate,
+    /// whichever is smaller. A tile larger than the PE array's staging
+    /// capacity cannot be live in the PEs even if the GB can hold it, so
+    /// this is what the prescient and overbooked planners size against —
+    /// and it is why real tilings have thousands of tiles (Fig. 1), not a
+    /// handful.
+    pub fn tile_capacity(&self) -> u64 {
+        self.gb_operand_capacity()
+            .min(2 * self.pe_array_operand_capacity())
+            .max(1)
+    }
+
+    /// DRAM bandwidth in elements per cycle.
+    pub fn dram_elems_per_cycle(&self) -> f64 {
+        self.dram_bytes_per_cycle / self.bytes_per_element as f64
+    }
+
+    /// Tailors FIFO-region size (elements) at the global buffer: sized to
+    /// hide the DRAM round trip with double buffering (§3.3.1), clamped to
+    /// half the working-tile capacity.
+    pub fn gb_fifo_region(&self) -> u64 {
+        let need = (2.0 * self.dram_latency_cycles as f64 * self.dram_elems_per_cycle()).ceil()
+            as u64;
+        need.max(1).min(self.tile_capacity() / 2).max(1)
+    }
+
+    /// Tailors FIFO-region size (elements) at a PE buffer.
+    pub fn pe_fifo_region(&self) -> u64 {
+        let per_pe_fill = self.gb_elems_per_cycle / self.pe_count as f64;
+        let need = (2.0 * self.gb_latency_cycles as f64 * per_pe_fill).ceil() as u64;
+        need.max(1).min(self.pe_operand_capacity() / 2).max(1)
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::extensor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extensor_capacities_are_sane() {
+        let a = ArchConfig::extensor();
+        // 30 MB / 12 B ≈ 2.62 M slots.
+        assert_eq!(a.gb_capacity_elems(), 30 * 1024 * 1024 / 12);
+        assert!(a.gb_operand_capacity() < a.gb_capacity_elems());
+        assert!(a.pe_operand_capacity() < a.pe_capacity_elems());
+        assert!(a.pe_array_operand_capacity() > a.pe_operand_capacity());
+        assert!(a.dram_elems_per_cycle() > 1.0);
+    }
+
+    #[test]
+    fn fifo_regions_are_positive_and_bounded() {
+        let a = ArchConfig::extensor();
+        assert!(a.gb_fifo_region() >= 1);
+        assert!(a.gb_fifo_region() <= a.gb_operand_capacity() / 2);
+        assert!(a.pe_fifo_region() >= 1);
+        assert!(a.pe_fifo_region() <= a.pe_operand_capacity() / 2);
+    }
+
+    #[test]
+    fn tiny_config_scales_down() {
+        let a = ArchConfig::tiny(1000, 100);
+        assert_eq!(a.gb_capacity_elems(), 1000);
+        assert_eq!(a.pe_capacity_elems(), 100);
+        assert_eq!(a.pe_count, 1);
+    }
+}

@@ -1,0 +1,392 @@
+//! The functional engine: executes the tiled `Z = A·Aᵀ` dataflow
+//! operation-by-operation through real `tailors-eddo` buffers.
+//!
+//! This is the ground truth the analytical model is validated against:
+//!
+//! * the computed output matrix must equal the reference
+//!   [`tailors_tensor::ops::spmspm_a_at`];
+//! * the counted DRAM fetches must equal the closed-form expressions in
+//!   [`crate::dataflow`] (the integration tests cross-check this).
+//!
+//! The engine models one buffered level (DRAM → operand buffer → compute),
+//! i.e. the analytical model with a degenerate PE level — exactly the part
+//! of the hierarchy overbooking changes.
+
+use std::collections::HashMap;
+
+use tailors_eddo::{Buffet, EddoError, Tailor, TailorConfig};
+use tailors_tensor::{CooMatrix, CsrMatrix};
+
+/// Configuration of a functional run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalConfig {
+    /// Operand-buffer capacity in nonzeros.
+    pub capacity: usize,
+    /// Tailors FIFO-region size (ignored when `overbooking` is false).
+    pub fifo_region: usize,
+    /// Rows of `A` per tile (`K`-spanning row panels).
+    pub rows_a: usize,
+    /// Columns of `B = Aᵀ` per tile.
+    pub cols_b: usize,
+    /// Whether the operand buffer is a Tailor (otherwise a plain buffet,
+    /// which drops everything and refills when a tile does not fit).
+    pub overbooking: bool,
+}
+
+/// Result of a functional run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalResult {
+    /// The computed output `Z = A·Aᵀ`.
+    pub z: CsrMatrix,
+    /// Elements fetched from DRAM for the stationary operand `A`
+    /// (including overbooking restreams).
+    pub dram_a_fetches: u64,
+    /// Elements fetched from DRAM for the streamed operand `B`.
+    pub dram_b_fetches: u64,
+    /// Number of A tiles that overbooked the buffer.
+    pub overbooked_a_tiles: usize,
+}
+
+/// One stored nonzero of the stationary operand as it moves through the
+/// buffer.
+type Elem = (u32, u32, f64);
+
+/// Executes the tiled dataflow on `a`, returning the output and DRAM
+/// traffic counts.
+///
+/// # Errors
+///
+/// Propagates buffer-protocol errors (none occur for well-formed input).
+///
+/// # Panics
+///
+/// Panics if `a` is not square or the configuration is degenerate
+/// (`capacity == 0`, or `fifo_region >= capacity` while overbooking).
+pub fn run(a: &CsrMatrix, config: &FunctionalConfig) -> Result<FunctionalResult, EddoError> {
+    assert_eq!(a.nrows(), a.ncols(), "A·Aᵀ expects a square matrix");
+    assert!(config.capacity > 0, "capacity must be positive");
+    let b = a.transpose();
+    let n = a.nrows();
+    let n_a_tiles = n.div_ceil(config.rows_a.max(1));
+    let n_b_tiles = n.div_ceil(config.cols_b.max(1));
+
+    let mut acc: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut dram_a = 0u64;
+    let mut dram_b = 0u64;
+    let mut overbooked = 0usize;
+
+    for ti in 0..n_a_tiles {
+        let m0 = ti * config.rows_a;
+        let m1 = ((ti + 1) * config.rows_a).min(n);
+        // Materialize the tile's elements in stream (row-major) order —
+        // this is what the parent's address generator would walk.
+        let tile: Vec<Elem> = (m0..m1)
+            .flat_map(|m| {
+                let row = a.row(m);
+                row.coords()
+                    .iter()
+                    .zip(row.values())
+                    .map(move |(&k, &v)| (m as u32, k, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if tile.len() > config.capacity {
+            overbooked += 1;
+        }
+
+        let mut driver = TileDriver::new(&tile, config)?;
+        for tj in 0..n_b_tiles {
+            let n0 = (tj * config.cols_b) as u32;
+            let n1 = (((tj + 1) * config.cols_b).min(n)) as u32;
+            // Stream the B tile from DRAM: its occupancy is the nonzeros of
+            // B columns [n0, n1), i.e. rows n0..n1 of A.
+            for col in n0..n1 {
+                dram_b += a.row_nnz(col as usize) as u64;
+            }
+            // Traverse the stationary tile once, intersecting each element
+            // against the B tile.
+            driver.traverse(|&(m, k, va)| {
+                let row_b = b.row(k as usize);
+                let coords = row_b.coords();
+                let start = coords.partition_point(|&c| c < n0);
+                for (idx, &nn) in coords[start..].iter().enumerate() {
+                    if nn >= n1 {
+                        break;
+                    }
+                    let vb = row_b.values()[start + idx];
+                    *acc.entry((m, nn)).or_insert(0.0) += va * vb;
+                }
+            })?;
+        }
+        dram_a += driver.fetches();
+    }
+
+    let mut coo = CooMatrix::with_capacity(n, n, acc.len());
+    for ((m, nn), v) in acc {
+        if v != 0.0 {
+            coo.push(m as usize, nn as usize, v)
+                .expect("accumulator coordinates in bounds");
+        }
+    }
+    Ok(FunctionalResult {
+        z: CsrMatrix::from_coo(&coo),
+        dram_a_fetches: dram_a,
+        dram_b_fetches: dram_b,
+        overbooked_a_tiles: overbooked,
+    })
+}
+
+/// Drives sequential traversals of one stationary tile through either a
+/// Tailor or a buffet, counting parent fetches.
+enum TileDriver<'t> {
+    Tailor {
+        tile: &'t [Elem],
+        buf: Tailor<Elem>,
+        fetches: u64,
+    },
+    Buffet {
+        tile: &'t [Elem],
+        buf: Buffet<Elem>,
+        window_start: usize,
+        window_end: usize,
+        fetches: u64,
+    },
+}
+
+impl<'t> TileDriver<'t> {
+    fn new(tile: &'t [Elem], config: &FunctionalConfig) -> Result<Self, EddoError> {
+        if config.overbooking {
+            let tc = TailorConfig::new(config.capacity, config.fifo_region)?;
+            let mut buf = Tailor::new(tc);
+            buf.set_tile_len(tile.len());
+            Ok(TileDriver::Tailor {
+                tile,
+                buf,
+                fetches: 0,
+            })
+        } else {
+            Ok(TileDriver::Buffet {
+                tile,
+                buf: Buffet::new(config.capacity),
+                window_start: 0,
+                window_end: 0,
+                fetches: 0,
+            })
+        }
+    }
+
+    fn fetches(&self) -> u64 {
+        match self {
+            TileDriver::Tailor { fetches, .. } => *fetches,
+            TileDriver::Buffet { fetches, .. } => *fetches,
+        }
+    }
+
+    /// One full in-order traversal of the tile, calling `visit` on every
+    /// element exactly once.
+    fn traverse<F: FnMut(&Elem)>(&mut self, mut visit: F) -> Result<(), EddoError> {
+        match self {
+            TileDriver::Tailor {
+                tile,
+                buf,
+                fetches,
+            } => {
+                for i in 0..tile.len() {
+                    loop {
+                        match buf.read(i) {
+                            Ok(e) => {
+                                visit(&e);
+                                break;
+                            }
+                            Err(EddoError::NotYetFilled { .. }) => {
+                                match buf.fill(tile[buf.occupancy()]) {
+                                    Ok(()) => *fetches += 1,
+                                    Err(EddoError::Full) => {
+                                        let idx =
+                                            buf.next_stream_index().unwrap_or(buf.occupancy());
+                                        buf.ow_fill(tile[idx])?;
+                                        *fetches += 1;
+                                    }
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                            Err(EddoError::Bumped { .. }) => {
+                                let idx = buf.next_stream_index().expect("overbooked");
+                                buf.ow_fill(tile[idx])?;
+                                *fetches += 1;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                Ok(())
+            }
+            TileDriver::Buffet {
+                tile,
+                buf,
+                window_start,
+                window_end,
+                fetches,
+            } => {
+                for i in 0..tile.len() {
+                    if i < *window_start {
+                        // Sliding window cannot rewind: drop and refill.
+                        let occ = buf.occupancy();
+                        buf.shrink(occ)?;
+                        *window_start = i;
+                        *window_end = i;
+                    }
+                    while i >= *window_end {
+                        if buf.is_full() {
+                            buf.shrink(1)?;
+                            *window_start += 1;
+                        }
+                        buf.fill(tile[*window_end])?;
+                        *window_end += 1;
+                        *fetches += 1;
+                    }
+                    let e = buf.read(i - *window_start)?;
+                    visit(&e);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailors_tensor::gen::GenSpec;
+    use tailors_tensor::ops::{approx_eq, spmspm_a_at};
+
+    fn small() -> CsrMatrix {
+        GenSpec::power_law(64, 64, 500).seed(13).generate()
+    }
+
+    #[test]
+    fn output_matches_reference_with_overbooking() {
+        let a = small();
+        let config = FunctionalConfig {
+            capacity: 40,
+            fifo_region: 8,
+            rows_a: 16,
+            cols_b: 16,
+            overbooking: true,
+        };
+        let result = run(&a, &config).unwrap();
+        let reference = spmspm_a_at(&a);
+        assert!(
+            approx_eq(&result.z, &reference, 1e-9),
+            "functional output must equal the reference product"
+        );
+        assert!(result.overbooked_a_tiles > 0, "test should exercise overbooking");
+    }
+
+    #[test]
+    fn output_matches_reference_without_overbooking() {
+        let a = small();
+        let config = FunctionalConfig {
+            capacity: 4_096, // everything fits
+            fifo_region: 8,
+            rows_a: 16,
+            cols_b: 16,
+            overbooking: false,
+        };
+        let result = run(&a, &config).unwrap();
+        assert!(approx_eq(&result.z, &spmspm_a_at(&a), 1e-9));
+        assert_eq!(result.overbooked_a_tiles, 0);
+        // Fitting tiles are fetched exactly once.
+        assert_eq!(result.dram_a_fetches, a.nnz() as u64);
+    }
+
+    #[test]
+    fn dram_a_matches_closed_form() {
+        let a = small();
+        let (capacity, fifo, rows_a, cols_b) = (40usize, 8usize, 16usize, 16usize);
+        let config = FunctionalConfig {
+            capacity,
+            fifo_region: fifo,
+            rows_a,
+            cols_b,
+            overbooking: true,
+        };
+        let result = run(&a, &config).unwrap();
+        // Closed form: occ + (n_b - 1) × bumped per tile.
+        let profile = a.profile();
+        let n_b = a.nrows().div_ceil(cols_b) as u64;
+        let resident = (capacity - fifo) as u64;
+        let mut expected = 0u64;
+        for t in 0..a.nrows().div_ceil(rows_a) {
+            let lo = t * rows_a;
+            let hi = ((t + 1) * rows_a).min(a.nrows());
+            let occ = profile.row_range_nnz(lo, hi);
+            let bumped = if occ > capacity as u64 {
+                occ - resident
+            } else {
+                0
+            };
+            expected += occ + (n_b - 1) * bumped;
+        }
+        assert_eq!(result.dram_a_fetches, expected);
+    }
+
+    #[test]
+    fn dram_b_is_one_pass_per_a_tile() {
+        let a = small();
+        let config = FunctionalConfig {
+            capacity: 40,
+            fifo_region: 8,
+            rows_a: 16,
+            cols_b: 16,
+            overbooking: true,
+        };
+        let result = run(&a, &config).unwrap();
+        let n_a = a.nrows().div_ceil(config.rows_a) as u64;
+        assert_eq!(result.dram_b_fetches, n_a * a.nnz() as u64);
+    }
+
+    #[test]
+    fn buffet_fallback_fetches_whole_tiles_per_pass() {
+        let a = small();
+        let overbooked = FunctionalConfig {
+            capacity: 40,
+            fifo_region: 8,
+            rows_a: 64, // one big tile that cannot fit
+            cols_b: 16,
+            overbooking: true,
+        };
+        let buffet = FunctionalConfig {
+            overbooking: false,
+            ..overbooked
+        };
+        let t = run(&a, &overbooked).unwrap();
+        let b = run(&a, &buffet).unwrap();
+        assert!(approx_eq(&t.z, &b.z, 1e-9), "both must compute the same Z");
+        assert!(
+            b.dram_a_fetches > t.dram_a_fetches,
+            "buffets refetch whole overbooked tiles (Fig. 3): {} vs {}",
+            b.dram_a_fetches,
+            t.dram_a_fetches
+        );
+        // Buffet: n_b full refetches of the tile.
+        let n_b = a.nrows().div_ceil(16) as u64;
+        assert_eq!(b.dram_a_fetches, n_b * a.nnz() as u64);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let a = CsrMatrix::new(8, 8);
+        let config = FunctionalConfig {
+            capacity: 4,
+            fifo_region: 1,
+            rows_a: 4,
+            cols_b: 4,
+            overbooking: true,
+        };
+        let r = run(&a, &config).unwrap();
+        assert_eq!(r.z.nnz(), 0);
+        assert_eq!(r.dram_a_fetches, 0);
+        assert_eq!(r.dram_b_fetches, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Analytical and functional models of an ExTensor-class sparse tensor
+//! algebra accelerator, used to evaluate buffer overbooking (Tailors +
+//! Swiftiles, MICRO 2023).
+//!
+//! * [`arch`] — the accelerator configuration (30 MB global buffer, 128
+//!   PEs, 68.25 GB/s DRAM, §5.2), including Tailors FIFO-region sizing.
+//! * [`energy`] — the per-action energy model (Accelergy/CACTI substitute).
+//! * [`plan`] / [`dataflow`] — closed-form per-level access counts for the
+//!   A-stationary intersection SpMSpM schedule, a roofline cycle model,
+//!   and overbooking streaming-traffic accounting.
+//! * [`variants`] — ExTensor-N / ExTensor-P / ExTensor-OB tile planners.
+//! * [`functional`] — an operation-level engine that executes the same
+//!   schedule through real `tailors-eddo` buffers on small inputs,
+//!   validating both the computed output and the analytical traffic
+//!   counts.
+//!
+//! # Example
+//!
+//! ```
+//! use tailors_sim::{ArchConfig, Variant};
+//! use tailors_tensor::gen::GenSpec;
+//!
+//! let a = GenSpec::power_law(30_000, 30_000, 300_000).seed(3).generate();
+//! let profile = a.profile();
+//! let arch = ArchConfig::extensor();
+//! let p = Variant::ExTensorP.run(&profile, &arch);
+//! let ob = Variant::default_ob().run(&profile, &arch);
+//! println!("overbooking speedup: {:.2}x", ob.speedup_over(&p));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod dataflow;
+pub mod energy;
+pub mod functional;
+pub mod metrics;
+pub mod plan;
+pub mod variants;
+
+pub use arch::ArchConfig;
+pub use dataflow::simulate;
+pub use energy::{ActivityCounts, EnergyModel};
+pub use metrics::{DramBreakdown, ReuseStats, RunMetrics};
+pub use plan::TilePlan;
+pub use variants::Variant;

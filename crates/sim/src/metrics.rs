@@ -1,0 +1,143 @@
+//! Metrics reported by a simulated accelerator run.
+
+use crate::energy::ActivityCounts;
+use crate::plan::TilePlan;
+
+/// DRAM traffic split into the infinite-buffer baseline and the extra
+/// streaming traffic caused by overbooked tiles (Fig. 9a's two bar
+/// segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramBreakdown {
+    /// Total DRAM traffic in elements.
+    pub total: u128,
+    /// Traffic the same tiling would produce with buffers that never
+    /// overflow.
+    pub baseline: u128,
+    /// Extra traffic from streaming bumped data through Tailors (or from
+    /// whole-tile refetches when overbooking support is disabled).
+    pub overbook_extra: u128,
+}
+
+impl DramBreakdown {
+    /// Fraction of total traffic that is overbooking overhead.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overbook_extra as f64 / self.total as f64
+        }
+    }
+}
+
+/// Data-reuse statistics for the stationary operand (Fig. 9b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReuseStats {
+    /// Fraction of the operand's nonzeros that are bumped out of their
+    /// buffer (averaged over tiles).
+    pub bumped_fraction: f64,
+    /// Fraction of child reads served without a fresh parent fetch.
+    pub reused_fraction: f64,
+    /// Number of A tiles whose occupancy exceeds the buffer capacity.
+    pub overbooked_a_tiles: usize,
+    /// Total A tiles.
+    pub total_a_tiles: usize,
+    /// Number of B tiles whose occupancy exceeds the buffer capacity.
+    pub overbooked_b_tiles: usize,
+    /// Total B tiles.
+    pub total_b_tiles: usize,
+}
+
+impl ReuseStats {
+    /// Achieved overbooking rate on the stationary operand.
+    pub fn overbooking_rate_a(&self) -> f64 {
+        if self.total_a_tiles == 0 {
+            0.0
+        } else {
+            self.overbooked_a_tiles as f64 / self.total_a_tiles as f64
+        }
+    }
+}
+
+/// Everything one simulated run reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Execution time in cycles (roofline over DRAM, GB, intersection, and
+    /// MAC throughput).
+    pub cycles: f64,
+    /// Total energy in picojoules.
+    pub energy_pj: f64,
+    /// Raw activity counts.
+    pub activity: ActivityCounts,
+    /// DRAM traffic breakdown.
+    pub dram: DramBreakdown,
+    /// Reuse statistics.
+    pub reuse: ReuseStats,
+    /// The (normalized) tile plan that was simulated.
+    pub plan: TilePlan,
+    /// Which resource bounds the roofline ("dram", "global-buffer",
+    /// "intersection", or "compute").
+    pub bound_by: &'static str,
+}
+
+impl RunMetrics {
+    /// Speedup of this run relative to `other` (`other.cycles / cycles`).
+    pub fn speedup_over(&self, other: &RunMetrics) -> f64 {
+        other.cycles / self.cycles
+    }
+
+    /// Energy-efficiency gain relative to `other`
+    /// (`other.energy / energy`).
+    pub fn energy_gain_over(&self, other: &RunMetrics) -> f64 {
+        other.energy_pj / self.energy_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(cycles: f64, energy: f64) -> RunMetrics {
+        RunMetrics {
+            cycles,
+            energy_pj: energy,
+            activity: ActivityCounts::default(),
+            dram: DramBreakdown {
+                total: 100,
+                baseline: 80,
+                overbook_extra: 20,
+            },
+            reuse: ReuseStats {
+                bumped_fraction: 0.1,
+                reused_fraction: 0.8,
+                overbooked_a_tiles: 1,
+                total_a_tiles: 10,
+                overbooked_b_tiles: 0,
+                total_b_tiles: 10,
+            },
+            plan: TilePlan {
+                gb_rows_a: 1,
+                gb_cols_b: 1,
+                pe_rows_a: 1,
+                pe_cols_b: 1,
+                full_k: true,
+                overbooking: true,
+            },
+            bound_by: "dram",
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let fast = dummy(10.0, 5.0);
+        let slow = dummy(30.0, 20.0);
+        assert!((fast.speedup_over(&slow) - 3.0).abs() < 1e-12);
+        assert!((fast.energy_gain_over(&slow) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_and_rates() {
+        let m = dummy(1.0, 1.0);
+        assert!((m.dram.overhead_fraction() - 0.2).abs() < 1e-12);
+        assert!((m.reuse.overbooking_rate_a() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Tile plans: how a workload is partitioned across the memory hierarchy.
+
+/// A two-level tiling of the `Z = A·B` (B = Aᵀ) dataflow.
+///
+/// For the prescient and overbooked variants, tiles are coordinate-space
+/// row/column panels spanning the full shared dimension `K` (paper §5.2's
+/// construction: expand along `K` first). For the no-preprocessing variant
+/// (ExTensor-N), tiles are dense-safe 2-D blocks; they can never overflow,
+/// so `full_k = false` disables all occupancy-dependent accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilePlan {
+    /// Rows of `A` per global-buffer tile.
+    pub gb_rows_a: usize,
+    /// Columns of `B` per global-buffer tile.
+    pub gb_cols_b: usize,
+    /// Rows of `A` per PE-buffer subtile.
+    pub pe_rows_a: usize,
+    /// Columns of `B` per PE-level streaming chunk.
+    pub pe_cols_b: usize,
+    /// Whether tiles span the full shared dimension (occupancy accounting
+    /// applies) or are dense-safe 2-D blocks (never overflow).
+    pub full_k: bool,
+    /// Whether the buffers are Tailors (overbooked tiles stream their
+    /// bumped portion and keep the resident region hot). When `false`, a
+    /// tile that exceeds capacity falls back to buffet behaviour: the
+    /// entire tile is refetched on every traversal (Fig. 3a).
+    pub overbooking: bool,
+}
+
+impl TilePlan {
+    /// Validates and normalizes the plan against a workload of `nrows`
+    /// rows: clamps tile extents into range and PE extents to their parent
+    /// tiles.
+    pub fn normalized(mut self, nrows: usize) -> TilePlan {
+        let n = nrows.max(1);
+        self.gb_rows_a = self.gb_rows_a.clamp(1, n);
+        self.gb_cols_b = self.gb_cols_b.clamp(1, n);
+        self.pe_rows_a = self.pe_rows_a.clamp(1, self.gb_rows_a);
+        self.pe_cols_b = self.pe_cols_b.clamp(1, self.gb_cols_b);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_clamps_everything() {
+        let p = TilePlan {
+            gb_rows_a: 0,
+            gb_cols_b: 10_000,
+            pe_rows_a: 9_999,
+            pe_cols_b: 0,
+            full_k: true,
+            overbooking: true,
+        }
+        .normalized(100);
+        assert_eq!(p.gb_rows_a, 1);
+        assert_eq!(p.gb_cols_b, 100);
+        assert_eq!(p.pe_rows_a, 1); // clamped to gb_rows_a
+        assert_eq!(p.pe_cols_b, 1);
+    }
+}

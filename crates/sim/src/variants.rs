@@ -1,0 +1,190 @@
+//! The three evaluated accelerator variants (paper §5.2): ExTensor-N,
+//! ExTensor-P, and ExTensor-OB, as tile-plan constructors over a common
+//! architecture.
+
+use tailors_core::swiftiles::SwiftilesConfig;
+use tailors_core::TilingStrategy;
+use tailors_tensor::MatrixProfile;
+
+use crate::arch::ArchConfig;
+use crate::dataflow::simulate;
+use crate::metrics::RunMetrics;
+use crate::plan::TilePlan;
+
+/// An accelerator variant: a tiling policy over the shared ExTensor
+/// substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Variant {
+    /// Original ExTensor without preprocessing: uniform-shape dense-safe
+    /// tiles (coordinate-space size bounded by capacity) at both levels.
+    ExTensorN,
+    /// ExTensor with prescient uniform-shape tiling: the largest `K`-
+    /// spanning panels whose fullest tile still fits each buffer.
+    ExTensorP,
+    /// ExTensor with overbooking: Swiftiles-sized panels (target rate `y`,
+    /// sample parameter `k`) backed by Tailors at both levels.
+    ExTensorOB {
+        /// Target overbooking rate (paper default 0.10).
+        y: f64,
+        /// Swiftiles sample parameter (paper default 10).
+        k: usize,
+    },
+}
+
+impl Variant {
+    /// The paper's default overbooked configuration (`y = 10 %, k = 10`).
+    pub fn default_ob() -> Self {
+        Variant::ExTensorOB { y: 0.10, k: 10 }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::ExTensorN => "ExTensor-N",
+            Variant::ExTensorP => "ExTensor-P",
+            Variant::ExTensorOB { .. } => "ExTensor-OB",
+        }
+    }
+
+    /// Builds this variant's tile plan for a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has no nonzeros or an overbooked variant has
+    /// an invalid `y`.
+    pub fn plan(&self, profile: &MatrixProfile, arch: &ArchConfig) -> TilePlan {
+        let cap_gb = arch.tile_capacity();
+        let cap_pe = arch.pe_operand_capacity();
+        match self {
+            Variant::ExTensorN => {
+                // The paper's ExTensor-N uses fixed 128×128 coordinate-space
+                // PE tiles regardless of sparsity (§5.2). Keeping output
+                // accumulation on-chip then forces the schedule to complete
+                // full-K strips of 128 rows at a time, and every strip
+                // triggers a fresh pass over the matching slices of B — the
+                // "very low buffer utilization" row of Table 1. Strips are
+                // dense-safe, so occupancy accounting never applies.
+                let side = 128usize;
+                TilePlan {
+                    gb_rows_a: side,
+                    gb_cols_b: side,
+                    pe_rows_a: side,
+                    pe_cols_b: side,
+                    full_k: false,
+                    overbooking: false,
+                }
+                .normalized(profile.nrows())
+            }
+            Variant::ExTensorP => {
+                let gb = TilingStrategy::PrescientUniformShape.choose(profile, cap_gb);
+                let pe = TilingStrategy::PrescientUniformShape.choose(profile, cap_pe);
+                TilePlan {
+                    gb_rows_a: gb.rows_per_tile,
+                    gb_cols_b: gb.rows_per_tile,
+                    pe_rows_a: pe.rows_per_tile,
+                    pe_cols_b: pe.rows_per_tile,
+                    full_k: true,
+                    overbooking: false,
+                }
+                .normalized(profile.nrows())
+            }
+            Variant::ExTensorOB { y, k } => {
+                let config = SwiftilesConfig::new(*y, *k)
+                    .expect("overbooked variant requires valid y");
+                let gb = TilingStrategy::Overbooked(config).choose(profile, cap_gb);
+                let pe = TilingStrategy::Overbooked(config).choose(profile, cap_pe);
+                TilePlan {
+                    gb_rows_a: gb.rows_per_tile,
+                    gb_cols_b: gb.rows_per_tile,
+                    pe_rows_a: pe.rows_per_tile,
+                    pe_cols_b: pe.rows_per_tile,
+                    full_k: true,
+                    overbooking: true,
+                }
+                .normalized(profile.nrows())
+            }
+        }
+    }
+
+    /// Plans and simulates this variant on a workload in one call.
+    pub fn run(&self, profile: &MatrixProfile, arch: &ArchConfig) -> RunMetrics {
+        simulate(profile, arch, self.plan(profile, arch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailors_tensor::gen::GenSpec;
+
+    fn profile() -> MatrixProfile {
+        GenSpec::power_law(60_000, 60_000, 600_000)
+            .seed(21)
+            .generate()
+            .profile()
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(Variant::ExTensorN.name(), "ExTensor-N");
+        assert_eq!(Variant::ExTensorP.name(), "ExTensor-P");
+        assert_eq!(Variant::default_ob().name(), "ExTensor-OB");
+    }
+
+    #[test]
+    fn n_plan_is_dense_safe() {
+        let p = profile();
+        let arch = ArchConfig::extensor();
+        let plan = Variant::ExTensorN.plan(&p, &arch);
+        assert!(!plan.full_k);
+        assert!(!plan.overbooking);
+        // A dense tile of this shape fits the operand partition.
+        assert!(
+            (plan.gb_rows_a as u64) * (plan.gb_rows_a as u64) <= arch.gb_operand_capacity()
+        );
+    }
+
+    #[test]
+    fn p_plan_never_overbooks() {
+        let p = profile();
+        let arch = ArchConfig::extensor();
+        let m = Variant::ExTensorP.run(&p, &arch);
+        assert_eq!(m.reuse.overbooked_a_tiles, 0);
+        assert_eq!(m.dram.overbook_extra, 0);
+    }
+
+    #[test]
+    fn ob_uses_larger_tiles_than_p() {
+        let p = profile();
+        let arch = ArchConfig::extensor();
+        let plan_p = Variant::ExTensorP.plan(&p, &arch);
+        let plan_ob = Variant::default_ob().plan(&p, &arch);
+        assert!(
+            plan_ob.gb_rows_a >= plan_p.gb_rows_a,
+            "overbooking should allow at least prescient-sized tiles \
+             (ob {} vs p {})",
+            plan_ob.gb_rows_a,
+            plan_p.gb_rows_a
+        );
+        assert!(plan_ob.overbooking);
+    }
+
+    #[test]
+    fn paper_ordering_on_a_heavy_tailed_workload() {
+        let p = profile();
+        let arch = ArchConfig::extensor();
+        let n = Variant::ExTensorN.run(&p, &arch);
+        let pp = Variant::ExTensorP.run(&p, &arch);
+        let ob = Variant::default_ob().run(&p, &arch);
+        // Fig. 7's ordering: P beats N, OB beats P on variable tensors.
+        assert!(pp.speedup_over(&n) > 1.0, "P should beat N");
+        assert!(
+            ob.speedup_over(&pp) > 1.0,
+            "OB should beat P on a heavy-tailed tensor: {}",
+            ob.speedup_over(&pp)
+        );
+        // Fig. 8's ordering for energy.
+        assert!(ob.energy_gain_over(&n) > 1.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Compressed sparse row (CSR) matrix format.
+
+use crate::fiber::Fiber;
+use crate::{CooMatrix, MatrixProfile, TensorError};
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Within each row, column indices are strictly increasing. This is the
+/// workhorse format of the reproduction: each row is a *fiber* in the
+/// paper's terminology (a sorted stream of (coordinate, value) pairs), so a
+/// CSR matrix doubles as a two-level compressed-sparse-fiber tensor, the
+/// format ExTensor stores operands in.
+///
+/// # Example
+///
+/// ```
+/// use tailors_tensor::CsrMatrix;
+///
+/// let a = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0)]).unwrap();
+/// assert_eq!(a.nnz(), 3);
+/// assert_eq!(a.row(0).coords(), &[0, 2]);
+/// assert_eq!(a.get(2, 1), Some(3.0));
+/// assert_eq!(a.get(1, 1), None);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Row pointer array, length `nrows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    col_idx: Vec<u32>,
+    /// Nonzero values, parallel to `col_idx`.
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidCsr`] if the row-pointer array has the
+    /// wrong length, is non-monotonic, disagrees with the index array length,
+    /// or if any row's column indices are out of bounds or not strictly
+    /// increasing.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Result<Self, TensorError> {
+        if row_ptr.len() != nrows + 1 {
+            return Err(TensorError::InvalidCsr("row_ptr length must be nrows + 1"));
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().expect("non-empty") != col_idx.len() {
+            return Err(TensorError::InvalidCsr(
+                "row_ptr must start at 0 and end at nnz",
+            ));
+        }
+        if col_idx.len() != vals.len() {
+            return Err(TensorError::InvalidCsr(
+                "col_idx and vals must have equal length",
+            ));
+        }
+        for w in row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(TensorError::InvalidCsr("row_ptr must be non-decreasing"));
+            }
+        }
+        for r in 0..nrows {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(TensorError::InvalidCsr(
+                        "column indices must be strictly increasing within a row",
+                    ));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= ncols {
+                    return Err(TensorError::InvalidCsr("column index out of bounds"));
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
+    }
+
+    /// Builds a CSR matrix from a COO matrix, sorting entries and summing
+    /// duplicates.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        // Counting sort by row, then sort each row's slice by column.
+        let mut counts = vec![0usize; nrows + 1];
+        for (r, _, _) in coo.iter() {
+            counts[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            counts[i + 1] += counts[i];
+        }
+        let total = counts[nrows];
+        let mut cols = vec![0u32; total];
+        let mut vals = vec![0f64; total];
+        let mut cursor = counts.clone();
+        for (r, c, v) in coo.iter() {
+            let at = cursor[r];
+            cols[at] = c as u32;
+            vals[at] = v;
+            cursor[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_cols = Vec::with_capacity(total);
+        let mut out_vals = Vec::with_capacity(total);
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..nrows {
+            let (lo, hi) = (counts[r], counts[r + 1]);
+            scratch.clear();
+            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut iter = scratch.iter().copied().peekable();
+            while let Some((c, mut v)) = iter.next() {
+                while let Some(&(c2, v2)) = iter.peek() {
+                    if c2 == c {
+                        v += v2;
+                        iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                out_cols.push(c);
+                out_vals.push(v);
+            }
+            row_ptr.push(out_cols.len());
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx: out_cols,
+            vals: out_vals,
+        }
+    }
+
+    /// Builds a CSR matrix directly from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::CoordOutOfBounds`] if any triplet lies outside
+    /// the shape.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, TensorError> {
+        let mut coo = CooMatrix::with_capacity(nrows, ncols, triplets.len());
+        for &(r, c, v) in triplets {
+            coo.push(r, c, v)?;
+        }
+        Ok(Self::from_coo(&coo))
+    }
+
+    /// Builds a dense-layout CSR matrix from a row-major 2-D array of values,
+    /// skipping zeros.
+    pub fn from_dense(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(r, c, v).expect("in bounds by construction");
+                }
+            }
+        }
+        Self::from_coo(&coo)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of structurally stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Fraction of the coordinate space that is *zero*, as in the paper's
+    /// Table 2 (e.g. `0.9999` for a 99.99 %-sparse tensor).
+    pub fn sparsity(&self) -> f64 {
+        let size = self.nrows as f64 * self.ncols as f64;
+        if size == 0.0 {
+            0.0
+        } else {
+            1.0 - self.nnz() as f64 / size
+        }
+    }
+
+    /// Density (`1 - sparsity`).
+    pub fn density(&self) -> f64 {
+        1.0 - self.sparsity()
+    }
+
+    /// The fiber (sorted coordinate/value stream) for row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.nrows()`.
+    pub fn row(&self, r: usize) -> Fiber<'_> {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        Fiber::new(&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of nonzeros in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.nrows()`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Looks up the value at `(r, c)`, or `None` if structurally zero or out
+    /// of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        if r >= self.nrows || c >= self.ncols {
+            return None;
+        }
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        let slice = &self.col_idx[lo..hi];
+        slice
+            .binary_search(&(c as u32))
+            .ok()
+            .map(|i| self.vals[lo + i])
+    }
+
+    /// Iterates over all `(row, col, value)` entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            self.col_idx[lo..hi]
+                .iter()
+                .zip(&self.vals[lo..hi])
+                .map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    ///
+    /// The paper's SpMSpM workload is `Z = A·Aᵀ`; the functional engine uses
+    /// this to materialize `B = Aᵀ`.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let mut cursor = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut vals = vec![0f64; self.nnz()];
+        for (r, c, v) in self.iter() {
+            let at = cursor[c];
+            col_idx[at] = r as u32;
+            vals[at] = v;
+            cursor[c] += 1;
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr: counts,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Extracts the per-row / per-column occupancy profile used by the
+    /// analytical accelerator model.
+    pub fn profile(&self) -> MatrixProfile {
+        let mut col_nnz = vec![0u32; self.ncols];
+        for &c in &self.col_idx {
+            col_nnz[c as usize] += 1;
+        }
+        let row_nnz: Vec<u32> = (0..self.nrows).map(|r| self.row_nnz(r) as u32).collect();
+        MatrixProfile::new(self.nrows, self.ncols, row_nnz, col_nnz)
+    }
+
+    /// Raw row-pointer array (length `nrows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw column-index array.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Raw value array, parallel to [`CsrMatrix::col_indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 2, 4.0), (2, 3, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_triplets_sorts_rows() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0)]).unwrap();
+        assert_eq!(m.row(0).coords(), &[0, 2]);
+        assert_eq!(m.row(0).values(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 1, 1.0), (0, 1, 2.5)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), Some(3.5));
+    }
+
+    #[test]
+    fn get_and_iter_agree() {
+        let m = small();
+        for (r, c, v) in m.iter() {
+            assert_eq!(m.get(r, c), Some(v));
+        }
+        assert_eq!(m.iter().count(), m.nnz());
+        assert_eq!(m.get(1, 1), None);
+        assert_eq!(m.get(99, 0), None);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), m.ncols());
+        assert_eq!(t.ncols(), m.nrows());
+        assert_eq!(t.nnz(), m.nnz());
+        for (r, c, v) in m.iter() {
+            assert_eq!(t.get(c, r), Some(v));
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn sparsity_matches_definition() {
+        let m = small();
+        let expected = 1.0 - 5.0 / 12.0;
+        assert!((m.sparsity() - expected).abs() < 1e-12);
+        assert!((m.density() - 5.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_counts_rows_and_cols() {
+        let m = small();
+        let p = m.profile();
+        assert_eq!(p.row_nnz(), &[2, 1, 2]);
+        assert_eq!(p.col_nnz(), &[1, 1, 1, 2]);
+        assert_eq!(p.nnz(), 5);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // Bad row_ptr length.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // Non-monotonic row_ptr.
+        assert!(
+            CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err()
+        );
+        // Unsorted columns.
+        assert!(
+            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+        // Column out of bounds.
+        assert!(CsrMatrix::from_parts(1, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // A valid one.
+        let ok = CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 2.0]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn from_dense_skips_zeros() {
+        let m = CsrMatrix::from_dense(&[vec![0.0, 1.0], vec![2.0, 0.0]]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(2.0));
+    }
+
+    #[test]
+    fn empty_matrix_is_consistent() {
+        let m = CsrMatrix::new(4, 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.sparsity(), 1.0);
+        assert_eq!(m.transpose().nnz(), 0);
+        assert_eq!(m.row(3).len(), 0);
+    }
+}

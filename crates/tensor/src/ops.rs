@@ -1,0 +1,203 @@
+//! Reference sparse kernels.
+//!
+//! These are straightforward, obviously-correct implementations used as
+//! ground truth for the functional accelerator engine, not as fast kernels.
+
+use std::collections::HashMap;
+
+use crate::{CooMatrix, CsrMatrix, TensorError};
+
+/// Reference sparse matrix-matrix multiply `Z = A·B` (Gustavson's row-wise
+/// algorithm with a hash accumulator).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.ncols != B.nrows`.
+///
+/// # Example
+///
+/// ```
+/// use tailors_tensor::{CsrMatrix, ops::spmspm};
+///
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+/// let b = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3.0), (1, 0, 4.0)]).unwrap();
+/// let z = spmspm(&a, &b)?;
+/// assert_eq!(z.get(0, 1), Some(3.0));
+/// assert_eq!(z.get(1, 0), Some(8.0));
+/// # Ok::<(), tailors_tensor::TensorError>(())
+/// ```
+pub fn spmspm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, TensorError> {
+    if a.ncols() != b.nrows() {
+        return Err(TensorError::ShapeMismatch {
+            left: (a.nrows(), a.ncols()),
+            right: (b.nrows(), b.ncols()),
+        });
+    }
+    let mut coo = CooMatrix::new(a.nrows(), b.ncols());
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    for m in 0..a.nrows() {
+        acc.clear();
+        let row_a = a.row(m);
+        for (&k, &va) in row_a.coords().iter().zip(row_a.values()) {
+            let row_b = b.row(k as usize);
+            for (&n, &vb) in row_b.coords().iter().zip(row_b.values()) {
+                *acc.entry(n).or_insert(0.0) += va * vb;
+            }
+        }
+        for (&n, &v) in &acc {
+            if v != 0.0 {
+                coo.push(m, n as usize, v)
+                    .expect("accumulator coordinates are in bounds");
+            }
+        }
+    }
+    Ok(CsrMatrix::from_coo(&coo))
+}
+
+/// Reference `Z = A·Aᵀ`, the paper's evaluation workload (§5.3).
+pub fn spmspm_a_at(a: &CsrMatrix) -> CsrMatrix {
+    let at = a.transpose();
+    spmspm(a, &at).expect("A and Aᵀ always have compatible shapes")
+}
+
+/// Counts effectual multiplies and output nonzeros of `A·B` by brute force.
+///
+/// Used to validate the O(K) analytical counts in
+/// [`crate::MatrixProfile::mults_a_b`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.ncols != B.nrows`.
+pub fn count_work(a: &CsrMatrix, b: &CsrMatrix) -> Result<WorkCounts, TensorError> {
+    let z = spmspm(a, b)?;
+    let mut mults: u128 = 0;
+    for m in 0..a.nrows() {
+        let row_a = a.row(m);
+        for &k in row_a.coords() {
+            mults += b.row_nnz(k as usize) as u128;
+        }
+    }
+    Ok(WorkCounts {
+        mults,
+        output_nnz: z.nnz() as u64,
+    })
+}
+
+/// Work counts for a sparse multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkCounts {
+    /// Number of effectual scalar multiplications.
+    pub mults: u128,
+    /// Number of structural nonzeros in the output.
+    pub output_nnz: u64,
+}
+
+/// Returns `true` if two matrices are elementwise equal within `tol`.
+pub fn approx_eq(a: &CsrMatrix, b: &CsrMatrix, tol: f64) -> bool {
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return false;
+    }
+    // Every entry of a must be matched in b and vice versa.
+    let within = |x: &CsrMatrix, y: &CsrMatrix| {
+        x.iter()
+            .all(|(r, c, v)| (y.get(r, c).unwrap_or(0.0) - v).abs() <= tol)
+    };
+    within(a, b) && within(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_mul(a: &CsrMatrix, b: &CsrMatrix) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; b.ncols()]; a.nrows()];
+        for (m, k, va) in a.iter() {
+            for (k2, n, vb) in b.iter() {
+                if k == k2 {
+                    out[m][n] += va * vb;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn spmspm_matches_dense_reference() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0), (2, 3, 0.5), (2, 0, 3.0)],
+        )
+        .unwrap();
+        let b = CsrMatrix::from_triplets(
+            4,
+            3,
+            &[(0, 0, 2.0), (1, 2, 4.0), (2, 1, -3.0), (3, 0, 1.0), (3, 2, 1.0)],
+        )
+        .unwrap();
+        let z = spmspm(&a, &b).unwrap();
+        let dense = dense_mul(&a, &b);
+        for (r, row) in dense.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                assert!(
+                    (z.get(r, c).unwrap_or(0.0) - v).abs() < 1e-12,
+                    "mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spmspm_rejects_shape_mismatch() {
+        let a = CsrMatrix::new(2, 3);
+        let b = CsrMatrix::new(2, 3);
+        assert!(matches!(
+            spmspm(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn a_at_is_symmetric() {
+        let a = CsrMatrix::from_triplets(
+            4,
+            4,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (3, 3, 4.0), (0, 3, -1.0)],
+        )
+        .unwrap();
+        let z = spmspm_a_at(&a);
+        for (r, c, v) in z.iter() {
+            assert!((z.get(c, r).unwrap_or(0.0) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn count_work_matches_profile_formula() {
+        let a = CsrMatrix::from_triplets(
+            5,
+            5,
+            &[(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0), (2, 3, 1.0), (4, 3, 1.0)],
+        )
+        .unwrap();
+        let at = a.transpose();
+        let counts = count_work(&a, &at).unwrap();
+        assert_eq!(counts.mults, a.profile().mults_a_at());
+    }
+
+    #[test]
+    fn approx_eq_detects_differences() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0 + 1e-13)]).unwrap();
+        let c = CsrMatrix::from_triplets(2, 2, &[(1, 1, 1.0)]).unwrap();
+        assert!(approx_eq(&a, &b, 1e-9));
+        assert!(!approx_eq(&a, &c, 1e-9));
+        assert!(!approx_eq(&a, &CsrMatrix::new(3, 3), 1e-9));
+    }
+
+    #[test]
+    fn multiply_by_empty_is_empty() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
+        let z = spmspm(&a, &CsrMatrix::new(2, 2)).unwrap();
+        assert_eq!(z.nnz(), 0);
+    }
+}

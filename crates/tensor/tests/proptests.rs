@@ -1,0 +1,141 @@
+//! Property-based tests for the sparse-tensor substrate.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use tailors_tensor::stats::{geomean, overbooking_quantile, quantile, summarize};
+use tailors_tensor::tiling::{grid_tile_occupancies, RowPanels};
+use tailors_tensor::{CooMatrix, CsrMatrix};
+
+fn triplets_strategy() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec(
+        (0usize..24, 0usize..24, -10.0f64..10.0),
+        0..200,
+    )
+}
+
+proptest! {
+    /// CSR construction from arbitrary (possibly duplicated) triplets
+    /// agrees with a BTreeMap reference model.
+    #[test]
+    fn csr_matches_reference_map(triplets in triplets_strategy()) {
+        let mut reference: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for &(r, c, v) in &triplets {
+            *reference.entry((r, c)).or_insert(0.0) += v;
+        }
+        let m = CsrMatrix::from_triplets(24, 24, &triplets).unwrap();
+        // Every reference entry is reachable (entries that summed to zero
+        // remain structurally present).
+        for (&(r, c), &v) in &reference {
+            prop_assert!((m.get(r, c).unwrap_or(f64::NAN) - v).abs() < 1e-9);
+        }
+        prop_assert_eq!(m.nnz(), reference.len());
+        // Row fibers are strictly sorted.
+        for r in 0..24 {
+            let coords = m.row(r).coords();
+            prop_assert!(coords.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Transposing twice is the identity; the transpose relocates every
+    /// entry exactly.
+    #[test]
+    fn transpose_is_involution(triplets in triplets_strategy()) {
+        let m = CsrMatrix::from_triplets(24, 24, &triplets).unwrap();
+        let t = m.transpose();
+        prop_assert_eq!(&t.transpose(), &m);
+        for (r, c, v) in m.iter() {
+            prop_assert_eq!(t.get(c, r), Some(v));
+        }
+    }
+
+    /// Profiles conserve nonzeros: row totals = column totals = nnz, and
+    /// any partition into row panels sums back to nnz.
+    #[test]
+    fn profile_and_panels_conserve_nnz(
+        triplets in triplets_strategy(),
+        rows_per_tile in 1usize..30,
+    ) {
+        let m = CsrMatrix::from_triplets(24, 24, &triplets).unwrap();
+        let p = m.profile();
+        prop_assert_eq!(p.nnz(), m.nnz() as u64);
+        let panels = RowPanels::new(&p, rows_per_tile);
+        prop_assert_eq!(panels.occupancies().sum::<u64>(), p.nnz());
+        prop_assert!(panels.max_occupancy() <= p.nnz());
+        // Overbooking rate is monotone non-increasing in capacity.
+        let r_small = panels.overbooking_rate(1);
+        let r_big = panels.overbooking_rate(1_000_000);
+        prop_assert!(r_small >= r_big);
+    }
+
+    /// 2-D grid tiles partition the nonzeros too.
+    #[test]
+    fn grid_tiles_partition_nnz(
+        triplets in triplets_strategy(),
+        tr in 1usize..10,
+        tc in 1usize..10,
+    ) {
+        let m = CsrMatrix::from_triplets(24, 24, &triplets).unwrap();
+        let occ = grid_tile_occupancies(&m, tr, tc);
+        prop_assert_eq!(occ.iter().sum::<u64>(), m.nnz() as u64);
+        prop_assert_eq!(occ.len(), 24usize.div_ceil(tr) * 24usize.div_ceil(tc));
+    }
+
+    /// Quantiles are monotone in q, bounded by the extremes, and the
+    /// overbooking quantile complements them.
+    #[test]
+    fn quantile_properties(mut values in proptest::collection::vec(0u64..10_000, 1..100)) {
+        values.sort_unstable();
+        let lo = *values.first().unwrap();
+        let hi = *values.last().unwrap();
+        let mut prev = lo;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = quantile(&values, q);
+            prop_assert!(v >= lo && v <= hi);
+            prop_assert!(v >= prev, "quantile must be monotone");
+            prev = v;
+        }
+        prop_assert_eq!(overbooking_quantile(&values, 0.0), hi);
+        // At most y of the values strictly exceed Q_y.
+        for y in [0.1, 0.25, 0.5] {
+            let qy = overbooking_quantile(&values, y);
+            let over = values.iter().filter(|&&v| v > qy).count();
+            prop_assert!(over as f64 <= y * values.len() as f64 + 1e-9);
+        }
+    }
+
+    /// Summaries are internally consistent.
+    #[test]
+    fn summary_is_consistent(values in proptest::collection::vec(0u64..100_000, 1..200)) {
+        let s = summarize(&values).unwrap();
+        prop_assert_eq!(s.count, values.len());
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+        prop_assert!(s.median <= s.p90);
+        prop_assert!(s.p90 <= s.p99);
+        prop_assert!(s.p99 <= s.max);
+        prop_assert!(s.mean <= s.max as f64 + 1e-9);
+    }
+
+    /// Geomean sits between min and max for positive inputs.
+    #[test]
+    fn geomean_bounds(values in proptest::collection::vec(0.01f64..100.0, 1..50)) {
+        let g = geomean(&values).unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+    }
+
+    /// COO round-trips its pushes and CSR conversion never loses mass.
+    #[test]
+    fn coo_value_mass_is_conserved(triplets in triplets_strategy()) {
+        let mut coo = CooMatrix::new(24, 24);
+        for &(r, c, v) in &triplets {
+            coo.push(r, c, v).unwrap();
+        }
+        let mass: f64 = coo.iter().map(|(_, _, v)| v).sum();
+        let m = CsrMatrix::from_coo(&coo);
+        let csr_mass: f64 = m.values().iter().sum();
+        prop_assert!((mass - csr_mass).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Scientific-computing scenario: forming normal equations for a sparse
+//! least-squares solve.
+//!
+//! Iterative solvers form `AᵀA` (here `A·Aᵀ` on the transposed system) from
+//! FEM-style matrices — the top half of the paper's Table 2. This example
+//! compares all four tiling strategies from Table 1 on a banded
+//! linear-system matrix and then simulates the three accelerator variants.
+//!
+//! Run with: `cargo run --release --example linear_solver`
+
+use tailors::core::swiftiles::SwiftilesConfig;
+use tailors::core::TilingStrategy;
+use tailors::sim::{ArchConfig, Variant};
+use tailors::tensor::gen::GenSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An rma10-like system matrix at 1/4 scale.
+    let a = GenSpec::banded(12_000, 12_000, 600_000).seed(9).generate();
+    let profile = a.profile();
+    println!(
+        "system matrix: {}x{}, {} nonzeros",
+        profile.nrows(),
+        profile.ncols(),
+        profile.nnz()
+    );
+
+    let arch = ArchConfig::extensor().scaled(0.25);
+    let capacity = arch.tile_capacity();
+
+    println!();
+    println!("Table-1 style strategy comparison (buffer = {capacity} nnz):");
+    let strategies: [(&str, TilingStrategy); 4] = [
+        ("uniform shape", TilingStrategy::UniformShape),
+        ("prescient", TilingStrategy::PrescientUniformShape),
+        ("uniform occupancy", TilingStrategy::UniformOccupancy),
+        (
+            "overbooking y=10%",
+            TilingStrategy::Overbooked(SwiftilesConfig::new(0.10, 10)?),
+        ),
+    ];
+    for (label, strategy) in &strategies {
+        let choice = strategy.choose(&profile, capacity);
+        println!(
+            "  {label:<18}: {:>6} tiles, utilization {:>5.1}%, overbooked {:>4.1}%, \
+             tax {} element-touches",
+            choice.n_tiles,
+            100.0 * choice.mean_utilization,
+            100.0 * choice.overbooking_rate,
+            choice.tax.total()
+        );
+    }
+
+    println!();
+    println!("accelerator simulation (Z = A·Aᵀ):");
+    let n = Variant::ExTensorN.run(&profile, &arch);
+    for v in [Variant::ExTensorP, Variant::default_ob()] {
+        let m = v.run(&profile, &arch);
+        println!(
+            "  {:<11}: {:.2}x speedup, {:.2}x energy vs ExTensor-N (bound by {})",
+            v.name(),
+            m.speedup_over(&n),
+            m.energy_gain_over(&n),
+            m.bound_by
+        );
+    }
+    Ok(())
+}

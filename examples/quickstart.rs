@@ -1,0 +1,71 @@
+//! Quickstart: size tiles with Swiftiles, simulate overbooking on ExTensor,
+//! and compare against the prescient baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tailors::core::swiftiles::{Swiftiles, SwiftilesConfig};
+use tailors::sim::{ArchConfig, Variant};
+use tailors::tensor::gen::GenSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A sparse tensor: a 200k x 200k power-law graph with 2M nonzeros
+    //    (large enough that tiling actually matters against a 30 MB chip).
+    let a = GenSpec::power_law(200_000, 200_000, 2_000_000)
+        .seed(7)
+        .generate();
+    let profile = a.profile();
+    println!(
+        "tensor: {}x{}, {} nonzeros ({:.4}% sparse)",
+        profile.nrows(),
+        profile.ncols(),
+        profile.nnz(),
+        100.0 * profile.sparsity()
+    );
+
+    // 2. Size tiles so ~10% of them overbook the accelerator's working-tile
+    //    capacity (the paper's operating point).
+    let arch = ArchConfig::extensor();
+    let capacity = arch.tile_capacity();
+    let est = Swiftiles::new(SwiftilesConfig::new(0.10, 10)?).estimate(&profile, capacity);
+    println!(
+        "swiftiles: T_initial = {} ({} rows), T_target = {} ({} rows), \
+         sampled {} tiles ({} nonzeros touched)",
+        est.t_initial,
+        est.rows_initial,
+        est.t_target,
+        est.rows_target,
+        est.samples.len(),
+        est.sampling_nnz_touched
+    );
+
+    // 3. Simulate Z = A·Aᵀ on the three accelerator variants.
+    let n = Variant::ExTensorN.run(&profile, &arch);
+    let p = Variant::ExTensorP.run(&profile, &arch);
+    let ob = Variant::default_ob().run(&profile, &arch);
+    println!(
+        "ExTensor-N : {:>12.0} cycles, {:>8.2} uJ",
+        n.cycles,
+        n.energy_pj / 1e6
+    );
+    println!(
+        "ExTensor-P : {:>12.0} cycles, {:>8.2} uJ ({:.1}x over N)",
+        p.cycles,
+        p.energy_pj / 1e6,
+        p.speedup_over(&n)
+    );
+    println!(
+        "ExTensor-OB: {:>12.0} cycles, {:>8.2} uJ ({:.1}x over N, {:.2}x over P)",
+        ob.cycles,
+        ob.energy_pj / 1e6,
+        ob.speedup_over(&n),
+        ob.speedup_over(&p)
+    );
+    println!(
+        "overbooked tiles: {}/{} ({:.1}%), DRAM streaming overhead {:.1}%",
+        ob.reuse.overbooked_a_tiles,
+        ob.reuse.total_a_tiles,
+        100.0 * ob.reuse.overbooking_rate_a(),
+        100.0 * ob.dram.overhead_fraction()
+    );
+    Ok(())
+}

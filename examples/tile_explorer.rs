@@ -1,0 +1,62 @@
+//! Tile-size explorer: inspect how Swiftiles sizes tiles for any suite
+//! workload at any overbooking target.
+//!
+//! Run with:
+//! `cargo run --release --example tile_explorer -- [workload] [y%] [scale]`
+//! e.g. `cargo run --release --example tile_explorer -- roadNet-CA 25 0.125`
+
+use tailors::core::swiftiles::{achieved_overbooking_rate, Swiftiles, SwiftilesConfig};
+use tailors::sim::{ArchConfig, Variant};
+use tailors::tensor::stats::summarize;
+use tailors::tensor::tiling::RowPanels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "amazon0312".to_string());
+    let y: f64 = args.next().map_or(10.0, |s| s.parse().expect("y%")) / 100.0;
+    let scale: f64 = args.next().map_or(0.125, |s| s.parse().expect("scale"));
+
+    let workload = tailors::workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}; see `table2` for the suite"));
+    let scaled = workload.scaled(scale);
+    println!(
+        "{} at scale {scale}: {}x{}, targeting {} nonzeros",
+        scaled.name, scaled.nrows, scaled.ncols, scaled.target_nnz
+    );
+    let profile = scaled.generate().profile();
+    let arch = ArchConfig::extensor().scaled(scale);
+    let capacity = arch.tile_capacity();
+
+    let est = Swiftiles::new(SwiftilesConfig::new(y, 10)?).estimate(&profile, capacity);
+    println!("buffer capacity: {capacity} nonzeros; target y = {:.0}%", 100.0 * y);
+    println!(
+        "T_initial = {} elements ({} rows/tile)",
+        est.t_initial, est.rows_initial
+    );
+    println!(
+        "T_target  = {} elements ({} rows/tile), Q_y = {:?}",
+        est.t_target, est.rows_target, est.q_y
+    );
+    let achieved = achieved_overbooking_rate(&profile, est.rows_target, capacity);
+    println!("achieved overbooking rate: {:.1}%", 100.0 * achieved);
+
+    let occ: Vec<u64> = RowPanels::new(&profile, est.rows_target)
+        .occupancies()
+        .collect();
+    if let Some(s) = summarize(&occ) {
+        println!(
+            "occupancy at T_target: {} tiles, median {}, p90 {}, p99 {}, max {}",
+            s.count, s.median, s.p90, s.p99, s.max
+        );
+    }
+
+    let p = Variant::ExTensorP.run(&profile, &arch);
+    let ob = Variant::ExTensorOB { y, k: 10 }.run(&profile, &arch);
+    println!(
+        "simulated at this y: {:.2}x speedup over prescient tiling \
+         ({:.1}% DRAM streaming overhead)",
+        ob.speedup_over(&p),
+        100.0 * ob.dram.overhead_fraction()
+    );
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate for the Tailors (MICRO 2023) reproduction.
+//!
+//! Re-exports the workspace crates under one roof.
+
+pub use tailors_core as core;
+pub use tailors_eddo as eddo;
+pub use tailors_sim as sim;
+pub use tailors_tensor as tensor;
+pub use tailors_workloads as workloads;

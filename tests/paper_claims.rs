@@ -1,0 +1,150 @@
+//! Shape-level assertions of the paper's headline claims, at reduced scale.
+//!
+//! These do not check absolute numbers (our substrate is a model, not the
+//! authors' testbed); they check *who wins and roughly how* — the
+//! reproduction's success criteria from DESIGN.md.
+
+use tailors::core::swiftiles::{achieved_overbooking_rate, Swiftiles, SwiftilesConfig};
+use tailors::core::TilingStrategy;
+use tailors::sim::{ArchConfig, Variant};
+use tailors::tensor::stats::{geomean, mae_to_target};
+
+const SCALE: f64 = 1.0 / 64.0;
+
+fn arch() -> ArchConfig {
+    ArchConfig::extensor().scaled(SCALE)
+}
+
+/// Fig. 7 / Fig. 8 shape: sparsity-aware tiling beats fixed tiling across
+/// the suite, in both speed and energy, on geomean.
+#[test]
+fn fig7_fig8_shape_p_and_ob_beat_n() {
+    let arch = arch();
+    let mut sp = Vec::new();
+    let mut sob = Vec::new();
+    let mut eob = Vec::new();
+    for wl in tailors::workloads::suite() {
+        let profile = wl.scaled(SCALE).generate().profile();
+        let n = Variant::ExTensorN.run(&profile, &arch);
+        let p = Variant::ExTensorP.run(&profile, &arch);
+        let ob = Variant::default_ob().run(&profile, &arch);
+        sp.push(p.speedup_over(&n));
+        sob.push(ob.speedup_over(&n));
+        eob.push(ob.energy_gain_over(&n));
+    }
+    assert!(geomean(&sp).unwrap() > 1.5, "P must beat N on geomean");
+    assert!(geomean(&sob).unwrap() > 1.5, "OB must beat N on geomean");
+    assert!(geomean(&eob).unwrap() > 1.5, "OB must beat N on energy");
+}
+
+/// Fig. 7 shape: overbooking wins most on the high-variability tensors the
+/// paper singles out (roadNet-CA, webbase-1M).
+#[test]
+fn fig7_shape_ob_wins_on_high_variability_tensors() {
+    let arch = arch();
+    for name in ["roadNet-CA", "webbase-1M"] {
+        let wl = tailors::workloads::by_name(name).expect("suite tensor");
+        let profile = wl.scaled(SCALE).generate().profile();
+        let p = Variant::ExTensorP.run(&profile, &arch);
+        let ob = Variant::default_ob().run(&profile, &arch);
+        assert!(
+            ob.speedup_over(&p) > 1.2,
+            "{name}: overbooking should clearly beat prescient, got {:.2}x",
+            ob.speedup_over(&p)
+        );
+    }
+}
+
+/// Fig. 10 shape: extreme overbooking targets are worse than moderate
+/// ones — the curve has an interior region above its endpoints.
+#[test]
+fn fig10_shape_moderate_y_beats_extremes() {
+    let arch = arch();
+    let profile = tailors::workloads::by_name("webbase-1M")
+        .expect("suite tensor")
+        .scaled(SCALE)
+        .generate()
+        .profile();
+    let cycles_at = |y: f64| Variant::ExTensorOB { y, k: 10 }.run(&profile, &arch).cycles;
+    let moderate = cycles_at(0.10).min(cycles_at(0.22));
+    assert!(
+        moderate <= cycles_at(1.0),
+        "y=100% must not beat moderate overbooking"
+    );
+}
+
+/// Fig. 11 shape: distribution scaling pulls the achieved overbooking rate
+/// toward the target, reducing MAE versus the raw initial estimate.
+#[test]
+fn fig11_shape_scaling_reduces_error() {
+    let arch = arch();
+    let capacity = arch.tile_capacity();
+    let y = 0.10;
+    let config = SwiftilesConfig::new(y, 10).expect("valid y").sample_all();
+    let mut initial = Vec::new();
+    let mut scaled = Vec::new();
+    for wl in tailors::workloads::suite() {
+        let profile = wl.scaled(SCALE).generate().profile();
+        let est = Swiftiles::new(config).estimate(&profile, capacity);
+        initial.push(100.0 * achieved_overbooking_rate(&profile, est.rows_initial, capacity));
+        scaled.push(100.0 * achieved_overbooking_rate(&profile, est.rows_target, capacity));
+    }
+    let mae_initial = mae_to_target(&initial, 100.0 * y);
+    let mae_scaled = mae_to_target(&scaled, 100.0 * y);
+    assert!(
+        mae_scaled < mae_initial,
+        "scaling must reduce MAE: initial {mae_initial:.1}% vs scaled {mae_scaled:.1}%"
+    );
+}
+
+/// Fig. 12 shape: sampling (k > 0) beats the unsampled initial estimate on
+/// average, and more samples never catastrophically hurt.
+#[test]
+fn fig12_shape_sampling_helps() {
+    let arch = arch();
+    let capacity = arch.tile_capacity();
+    let y = 0.10;
+    let mae_at_k = |k: usize| {
+        let mut rates = Vec::new();
+        for wl in tailors::workloads::suite() {
+            let profile = wl.scaled(SCALE).generate().profile();
+            let config = SwiftilesConfig::new(y, k).expect("valid y");
+            let est = Swiftiles::new(config).estimate(&profile, capacity);
+            rates.push(100.0 * achieved_overbooking_rate(&profile, est.rows_target, capacity));
+        }
+        mae_to_target(&rates, 100.0 * y)
+    };
+    let no_sampling = mae_at_k(0);
+    let k10 = mae_at_k(10);
+    assert!(
+        k10 < no_sampling,
+        "k=10 ({k10:.1}%) must beat the raw initial estimate ({no_sampling:.1}%)"
+    );
+}
+
+/// Table 1 shape: the strategy taxonomy's ordering of utilization and tax.
+#[test]
+fn table1_shape_strategy_taxonomy() {
+    let arch = arch();
+    let capacity = arch.tile_capacity();
+    let profile = tailors::workloads::by_name("amazon0312")
+        .expect("suite tensor")
+        .scaled(SCALE)
+        .generate()
+        .profile();
+    let uni = TilingStrategy::UniformShape.choose(&profile, capacity);
+    let pre = TilingStrategy::PrescientUniformShape.choose(&profile, capacity);
+    let ob = TilingStrategy::Overbooked(SwiftilesConfig::new(0.10, 10).expect("valid y"))
+        .choose(&profile, capacity);
+    let pst = TilingStrategy::UniformOccupancy.choose(&profile, capacity);
+    assert!(uni.mean_utilization < pre.mean_utilization);
+    assert!(pre.mean_utilization <= ob.mean_utilization + 1e-9);
+    assert!(ob.mean_utilization <= pst.mean_utilization + 1e-9);
+    assert_eq!(uni.tax.total(), 0);
+    assert!(ob.tax.total() < pre.tax.total());
+    // PST's tax is runtime operand matching, paid again on every execution
+    // (prescient's traversals amortize as one-time preprocessing); it must
+    // dwarf overbooking's sampling cost.
+    assert!(pst.tax.matching_ops > 0);
+    assert!(pst.tax.total() > ob.tax.total());
+}
