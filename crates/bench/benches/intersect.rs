@@ -1,13 +1,20 @@
 //! Criterion benchmarks for the compute substrate: fiber intersection
 //! (ExTensor's core primitive), the reference SpMSpM, the analytical
 //! simulator itself, and the functional engine.
+//!
+//! The `spmspm` group tracks the dense-scratch (SPA) rewrite against the
+//! retained seed kernels — `seed_hashmap_a_at_2k` and
+//! `seed_functional_engine_a_at_2k` are the before, everything else is the
+//! after. Run with `CRITERION_JSON=BENCH_spmspm.json cargo bench --bench
+//! intersect` to refresh the machine-readable trajectory file (schema in
+//! `DESIGN.md`).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use tailors_sim::functional::{run, FunctionalConfig};
+use tailors_sim::functional::{reference_run, run, run_with_threads, FunctionalConfig};
 use tailors_sim::{ArchConfig, Variant};
 use tailors_tensor::gen::GenSpec;
-use tailors_tensor::ops::spmspm_a_at;
+use tailors_tensor::ops::{self, count_work, spmspm_a_at, spmspm_into, SpmspmScratch};
 
 fn bench_intersection(c: &mut Criterion) {
     let a = GenSpec::uniform(1, 100_000, 10_000).seed(1).generate();
@@ -27,20 +34,46 @@ fn bench_intersection(c: &mut Criterion) {
 
 fn bench_spmspm(c: &mut Criterion) {
     let a = GenSpec::power_law(2_000, 2_000, 20_000).seed(3).generate();
+    let at = a.transpose();
     let mut g = c.benchmark_group("spmspm");
     g.sample_size(10);
+    // Before: the seed's HashMap-accumulator Gustavson.
+    g.bench_function("seed_hashmap_a_at_2k", |bch| {
+        bch.iter(|| black_box(ops::reference::spmspm_a_at(&a)))
+    });
+    // After: the dense-scratch SPA kernel (same public entry point).
     g.bench_function("reference_a_at_2k", |bch| {
         bch.iter(|| black_box(spmspm_a_at(&a)))
     });
+    // After, allocation-reusing: scratch and transpose hoisted out.
+    g.bench_function("spa_into_a_at_2k", |bch| {
+        let mut scratch = SpmspmScratch::new();
+        bch.iter(|| black_box(spmspm_into(&a, &at, &mut scratch).unwrap()))
+    });
+    // Work counting: symbolic marker pass vs materializing the product.
+    g.bench_function("count_work_symbolic_2k", |bch| {
+        bch.iter(|| black_box(count_work(&a, &at).unwrap()))
+    });
+
+    let config = FunctionalConfig {
+        capacity: 2_048,
+        fifo_region: 256,
+        rows_a: 256,
+        cols_b: 256,
+        overbooking: true,
+    };
+    // Before: the seed engine (tile materialization + per-element searches
+    // + HashMap output accumulator).
+    g.bench_function("seed_functional_engine_a_at_2k", |bch| {
+        bch.iter(|| black_box(reference_run(&a, &config).unwrap()))
+    });
+    // After: CSR-slice walking, prefix-sliced B tiles, dense panel scratch.
     g.bench_function("functional_engine_a_at_2k", |bch| {
-        let config = FunctionalConfig {
-            capacity: 2_048,
-            fifo_region: 256,
-            rows_a: 256,
-            cols_b: 256,
-            overbooking: true,
-        };
         bch.iter(|| black_box(run(&a, &config).unwrap()))
+    });
+    // After, pinned serial: the deterministic --threads 1 path.
+    g.bench_function("functional_engine_serial_a_at_2k", |bch| {
+        bch.iter(|| black_box(run_with_threads(&a, &config, 1).unwrap()))
     });
     g.finish();
 }
@@ -53,7 +86,11 @@ fn bench_simulator(c: &mut Criterion) {
     let arch = ArchConfig::extensor();
     let mut g = c.benchmark_group("analytical_simulator");
     g.sample_size(20);
-    for v in [Variant::ExTensorN, Variant::ExTensorP, Variant::default_ob()] {
+    for v in [
+        Variant::ExTensorN,
+        Variant::ExTensorP,
+        Variant::default_ob(),
+    ] {
         g.bench_function(v.name(), |bch| {
             bch.iter(|| black_box(v.run(&profile, &arch)))
         });
@@ -61,5 +98,31 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_intersection, bench_spmspm, bench_simulator);
+fn bench_suite(c: &mut Criterion) {
+    // The 22-workload suite at 1/256 scale: generation + three variant
+    // runs per workload, serial vs parallel fan-out.
+    let mut g = c.benchmark_group("suite");
+    g.sample_size(10);
+    g.bench_function("simulate_suite_serial_1_256", |bch| {
+        bch.iter(|| black_box(tailors_bench::simulate_suite_with_threads(1.0 / 256.0, 1)))
+    });
+    g.bench_function("simulate_suite_parallel_1_256", |bch| {
+        let threads = rayon::current_num_threads();
+        bch.iter(|| {
+            black_box(tailors_bench::simulate_suite_with_threads(
+                1.0 / 256.0,
+                threads,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_intersection,
+    bench_spmspm,
+    bench_simulator,
+    bench_suite
+);
 criterion_main!(benches);

@@ -23,9 +23,7 @@ fn bench_strategies(c: &mut Criterion) {
         b.iter(|| black_box(TilingStrategy::UniformShape.choose(&profile, capacity)))
     });
     g.bench_function("prescient", |b| {
-        b.iter(|| {
-            black_box(TilingStrategy::PrescientUniformShape.choose(&profile, capacity))
-        })
+        b.iter(|| black_box(TilingStrategy::PrescientUniformShape.choose(&profile, capacity)))
     });
     g.bench_function("swiftiles_k10", |b| {
         let config = SwiftilesConfig::new(0.10, 10).unwrap();

@@ -41,7 +41,12 @@ fn main() {
             ratios.push(ratio);
         }
         let g = geomean(&ratios).expect("non-empty suite");
-        println!("y = {:>5.1}% : {:>6.2}x  {}", 100.0 * y, g, bar(g / 4.0, 32));
+        println!(
+            "y = {:>5.1}% : {:>6.2}x  {}",
+            100.0 * y,
+            g,
+            bar(g / 4.0, 32)
+        );
     }
     rule(64);
     let oracle = geomean(&per_workload_best).expect("non-empty suite");

@@ -32,9 +32,7 @@ fn main() {
             for &seed in &seeds {
                 let config = SwiftilesConfig::new(y, k).expect("valid y").seed(seed);
                 let est = Swiftiles::new(config).estimate(profile, capacity);
-                rates.push(
-                    100.0 * achieved_overbooking_rate(profile, est.rows_target, capacity),
-                );
+                rates.push(100.0 * achieved_overbooking_rate(profile, est.rows_target, capacity));
             }
         }
         let mae = mae_to_target(&rates, 100.0 * y);

@@ -53,9 +53,9 @@ fn main() {
     }
     rule(56);
     match pearson(&bumped, &reused) {
-        Some(rho) => println!(
-            "correlation(bumped, reused) = {rho:.3}   (paper: strong inverse correlation)"
-        ),
+        Some(rho) => {
+            println!("correlation(bumped, reused) = {rho:.3}   (paper: strong inverse correlation)")
+        }
         None => println!("correlation undefined (degenerate data)"),
     }
 }

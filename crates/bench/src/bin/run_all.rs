@@ -1,25 +1,54 @@
 //! Runs every figure/table reproduction in sequence (the full evaluation).
 //!
-//! Usage: `cargo run --release -p tailors-bench --bin run_all [scale]`
+//! Usage: `cargo run --release -p tailors-bench --bin run_all [scale] [--threads N]`
 //!
 //! At `scale = 1.0` (default) the workloads are generated at the paper's
 //! full dimensions; expect a few minutes, dominated by tensor generation.
+//! `--threads N` pins the suite's worker threads in every child binary
+//! (`--threads 1` is the fully serial, deterministic path); without it the
+//! children use all available cores.
 
 use std::process::Command;
 
 fn main() {
-    let scale = std::env::args().nth(1).unwrap_or_else(|| "1.0".to_string());
+    let mut scale: Option<String> = None;
+    let mut threads: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let n = args.next().expect("--threads requires a value");
+            assert!(
+                n.parse::<usize>().map(|v| v > 0).unwrap_or(false),
+                "--threads must be a positive integer, got {n:?}"
+            );
+            threads = Some(n);
+        } else if arg.starts_with('-') {
+            panic!("unknown flag {arg:?}; usage: run_all [scale] [--threads N]");
+        } else if scale.is_none() {
+            scale = Some(arg);
+        } else {
+            panic!("unexpected extra argument {arg:?}; usage: run_all [scale] [--threads N]");
+        }
+    }
+    let scale = scale.unwrap_or_else(|| "1.0".to_string());
     let bins = [
-        "table2", "fig1", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "fig13",
+        "table2", "fig1", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
     ];
     for bin in bins {
         println!();
         println!("==================== {bin} ====================");
-        let status = Command::new(std::env::current_exe().expect("self path")
-            .parent().expect("bin dir").join(bin))
-            .arg(&scale)
-            .status();
+        let mut cmd = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .parent()
+                .expect("bin dir")
+                .join(bin),
+        );
+        cmd.arg(&scale);
+        if let Some(t) = &threads {
+            cmd.env("TAILORS_THREADS", t);
+        }
+        let status = cmd.status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),

@@ -14,13 +14,14 @@ fn main() {
     let capacity = arch.tile_capacity();
     let strategies: [(&str, TilingStrategy); 4] = [
         ("Uniform shape", TilingStrategy::UniformShape),
-        ("Prescient uniform shape", TilingStrategy::PrescientUniformShape),
+        (
+            "Prescient uniform shape",
+            TilingStrategy::PrescientUniformShape,
+        ),
         ("Uniform occupancy (PST)", TilingStrategy::UniformOccupancy),
         (
             "Overbooking (this work)",
-            TilingStrategy::Overbooked(
-                SwiftilesConfig::new(0.10, 10).expect("valid y"),
-            ),
+            TilingStrategy::Overbooked(SwiftilesConfig::new(0.10, 10).expect("valid y")),
         ),
     ];
     let representative = ["rma10", "amazon0312", "webbase-1M", "roadNet-CA"];

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use rayon::prelude::*;
 use tailors_sim::{ArchConfig, RunMetrics, Variant};
 use tailors_tensor::MatrixProfile;
 use tailors_workloads::Workload;
@@ -70,6 +71,27 @@ pub fn scale_from_args() -> f64 {
     }
 }
 
+/// Worker-thread count for suite simulation: the `TAILORS_THREADS`
+/// environment variable when set (`1` = the serial path), otherwise
+/// whatever rayon advertises. Results never depend on this — workload runs
+/// are independent and collected in suite order.
+///
+/// # Panics
+///
+/// Panics if `TAILORS_THREADS` is set but not a positive integer.
+pub fn threads_from_env() -> usize {
+    match std::env::var("TAILORS_THREADS") {
+        Err(_) => rayon::current_num_threads(),
+        Ok(s) => {
+            let n: usize = s.trim().parse().unwrap_or_else(|_| {
+                panic!("TAILORS_THREADS must be a positive integer, got {s:?}")
+            });
+            assert!(n > 0, "TAILORS_THREADS must be positive");
+            n
+        }
+    }
+}
+
 /// The architecture used by every figure, scaled consistently.
 pub fn arch_at(scale: f64) -> ArchConfig {
     ArchConfig::extensor().scaled(scale)
@@ -82,25 +104,40 @@ pub fn profile_at(workload: &Workload, scale: f64) -> (Workload, MatrixProfile) 
     (scaled, profile)
 }
 
-/// Runs the three variants over the whole 22-workload suite.
+/// Runs the three variants over the whole 22-workload suite, fanning the
+/// independent workload runs across [`threads_from_env`] worker threads.
 pub fn simulate_suite(scale: f64) -> Vec<SuiteRun> {
+    simulate_suite_with_threads(scale, threads_from_env())
+}
+
+/// [`simulate_suite`] with an explicit thread count (`1` = fully serial).
+/// Workload generation dominates suite wall-clock and every workload is
+/// seeded and independent, so the output is identical for any count.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn simulate_suite_with_threads(scale: f64, threads: usize) -> Vec<SuiteRun> {
+    assert!(threads > 0, "thread count must be positive");
     let arch = arch_at(scale);
-    tailors_workloads::suite()
-        .into_iter()
-        .map(|wl| {
-            let (workload, profile) = profile_at(&wl, scale);
-            let n = Variant::ExTensorN.run(&profile, &arch);
-            let p = Variant::ExTensorP.run(&profile, &arch);
-            let ob = Variant::default_ob().run(&profile, &arch);
-            SuiteRun {
-                workload,
-                profile,
-                n,
-                p,
-                ob,
-            }
-        })
-        .collect()
+    let one = |wl: Workload| {
+        let (workload, profile) = profile_at(&wl, scale);
+        let n = Variant::ExTensorN.run(&profile, &arch);
+        let p = Variant::ExTensorP.run(&profile, &arch);
+        let ob = Variant::default_ob().run(&profile, &arch);
+        SuiteRun {
+            workload,
+            profile,
+            n,
+            p,
+            ob,
+        }
+    };
+    let suite = tailors_workloads::suite();
+    if threads == 1 {
+        return suite.into_iter().map(one).collect();
+    }
+    tailors_sim::in_thread_pool(threads, || suite.into_par_iter().map(one).collect())
 }
 
 /// Prints a horizontal rule sized to `width`.
@@ -144,6 +181,20 @@ mod tests {
         assert_eq!(bar(0.5, 4), "##..");
         assert_eq!(bar(2.0, 3), "###");
         assert_eq!(bar(-1.0, 3), "...");
+    }
+
+    #[test]
+    fn suite_results_do_not_depend_on_thread_count() {
+        let scale = 1.0 / 256.0;
+        let serial = simulate_suite_with_threads(scale, 1);
+        let parallel = simulate_suite_with_threads(scale, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.workload.name, p.workload.name);
+            assert_eq!(s.n.cycles.to_bits(), p.n.cycles.to_bits());
+            assert_eq!(s.speedup_ob().to_bits(), p.speedup_ob().to_bits());
+            assert_eq!(s.energy_gain_p().to_bits(), p.energy_gain_p().to_bits());
+        }
     }
 
     #[test]

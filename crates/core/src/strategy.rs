@@ -118,9 +118,8 @@ impl TilingStrategy {
                 let n_tiles = profile.nnz().div_ceil(capacity).max(1) as usize;
                 let nominal_rows = (profile.nrows() / n_tiles).max(1);
                 let last = profile.nnz() - (n_tiles as u64 - 1) * capacity;
-                let mean_utilization = ((n_tiles as u64 - 1) as f64
-                    + last as f64 / capacity as f64)
-                    / n_tiles as f64;
+                let mean_utilization =
+                    ((n_tiles as u64 - 1) as f64 + last as f64 / capacity as f64) / n_tiles as f64;
                 TileChoice {
                     rows_per_tile: nominal_rows,
                     n_tiles,
@@ -223,7 +222,10 @@ mod tests {
         let p = profile();
         let cap = 4_096;
         let choice = TilingStrategy::PrescientUniformShape.choose(&p, cap);
-        assert_eq!(choice.overbooking_rate, 0.0, "prescient must never overbook");
+        assert_eq!(
+            choice.overbooking_rate, 0.0,
+            "prescient must never overbook"
+        );
         let panels = RowPanels::new(&p, choice.rows_per_tile);
         assert!(panels.max_occupancy() <= cap);
         // One more row per tile would overflow somewhere (maximality),
@@ -296,8 +298,8 @@ mod tests {
         let cap = 4_096;
         let uni = TilingStrategy::UniformShape.choose(&p, cap);
         let pre = TilingStrategy::PrescientUniformShape.choose(&p, cap);
-        let ob = TilingStrategy::Overbooked(SwiftilesConfig::new(0.10, 10).unwrap())
-            .choose(&p, cap);
+        let ob =
+            TilingStrategy::Overbooked(SwiftilesConfig::new(0.10, 10).unwrap()).choose(&p, cap);
         let pst = TilingStrategy::UniformOccupancy.choose(&p, cap);
         assert!(uni.mean_utilization < pre.mean_utilization);
         assert!(pre.mean_utilization < ob.mean_utilization);

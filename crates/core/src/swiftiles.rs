@@ -316,10 +316,7 @@ mod tests {
         // A small capacity gives many tiles, so the k/y budget is a real
         // subsample rather than a full traversal.
         let est = Swiftiles::new(config).estimate(&profile, 256);
-        assert_eq!(
-            est.sampling_nnz_touched,
-            est.samples.iter().sum::<u64>()
-        );
+        assert_eq!(est.sampling_nnz_touched, est.samples.iter().sum::<u64>());
         // Sampling must touch far less than the full tensor (the efficiency
         // claim vs prescient tiling).
         assert!(est.sampling_nnz_touched < profile.nnz());

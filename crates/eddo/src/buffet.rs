@@ -243,6 +243,9 @@ mod tests {
         b.update(1, 3).unwrap();
         b.shrink(1).unwrap();
         let s = b.stats();
-        assert_eq!((s.fills, s.reads, s.read_misses, s.updates, s.shrunk), (2, 1, 1, 1, 1));
+        assert_eq!(
+            (s.fills, s.reads, s.read_misses, s.updates, s.shrunk),
+            (2, 1, 1, 1, 1)
+        );
     }
 }

@@ -53,7 +53,10 @@ impl core::fmt::Display for EddoError {
                 write!(f, "index {index} has not been filled yet")
             }
             EddoError::Bumped { index } => {
-                write!(f, "index {index} was bumped and is not in the streaming window")
+                write!(
+                    f,
+                    "index {index} was bumped and is not in the streaming window"
+                )
             }
             EddoError::ShrinkTooLarge {
                 requested,

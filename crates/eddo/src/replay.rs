@@ -79,9 +79,7 @@ pub fn replay_tailor<T: Clone + PartialEq + core::fmt::Debug>(
                             Ok(()) => fetches += 1,
                             Err(EddoError::Full) => {
                                 // Transition to streaming.
-                                let idx = t
-                                    .next_stream_index()
-                                    .unwrap_or(t.occupancy());
+                                let idx = t.next_stream_index().unwrap_or(t.occupancy());
                                 t.ow_fill(tile[idx].clone())?;
                                 fetches += 1;
                             }
@@ -204,8 +202,7 @@ mod tests {
         let cap = 6;
         let passes = 4;
         let buffet = replay_buffet(&t, cap, passes).unwrap();
-        let tailor =
-            replay_tailor(&t, TailorConfig::new(cap, 2).unwrap(), passes).unwrap();
+        let tailor = replay_tailor(&t, TailorConfig::new(cap, 2).unwrap(), passes).unwrap();
         assert_eq!(buffet.parent_fetches, 8 * 4);
         // 8 + 3 passes × bumped (8 - 4 resident) = 8 + 12 = 20.
         assert_eq!(tailor.parent_fetches, 20);
@@ -256,7 +253,10 @@ mod tests {
         let r = replay_tailor(&t, TailorConfig::new(4, 2).unwrap(), 0).unwrap();
         assert_eq!(r.parent_fetches, 0);
         assert_eq!(r.reuse_fraction(), 0.0);
-        assert_eq!(tailor_fetch_model(6, TailorConfig::new(4, 2).unwrap(), 0), 0);
+        assert_eq!(
+            tailor_fetch_model(6, TailorConfig::new(4, 2).unwrap(), 0),
+            0
+        );
         assert_eq!(buffet_fetch_model(6, 4, 0), 0);
     }
 

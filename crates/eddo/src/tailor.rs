@@ -495,8 +495,8 @@ mod tests {
             if let Some(offset) = t.buffer_offset(index) {
                 if index >= t.fifo_head() {
                     let oldest = (t.fifo_offset() + t.fifo_head()) as isize;
-                    let formula = t.fifo_head()
-                        + (index as isize - oldest).rem_euclid(period) as usize;
+                    let formula =
+                        t.fifo_head() + (index as isize - oldest).rem_euclid(period) as usize;
                     assert_eq!(offset, formula, "index {index}");
                 }
             }

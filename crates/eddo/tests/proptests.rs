@@ -3,9 +3,7 @@
 use std::collections::VecDeque;
 
 use proptest::prelude::*;
-use tailors_eddo::replay::{
-    buffet_fetch_model, replay_buffet, replay_tailor, tailor_fetch_model,
-};
+use tailors_eddo::replay::{buffet_fetch_model, replay_buffet, replay_tailor, tailor_fetch_model};
 use tailors_eddo::{Buffet, EddoError, Tailor, TailorConfig};
 
 proptest! {

@@ -148,8 +148,8 @@ impl ArchConfig {
     /// hide the DRAM round trip with double buffering (§3.3.1), clamped to
     /// half the working-tile capacity.
     pub fn gb_fifo_region(&self) -> u64 {
-        let need = (2.0 * self.dram_latency_cycles as f64 * self.dram_elems_per_cycle()).ceil()
-            as u64;
+        let need =
+            (2.0 * self.dram_latency_cycles as f64 * self.dram_elems_per_cycle()).ceil() as u64;
         need.max(1).min(self.tile_capacity() / 2).max(1)
     }
 

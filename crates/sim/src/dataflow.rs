@@ -89,36 +89,35 @@ pub fn simulate(profile: &MatrixProfile, arch: &ArchConfig, plan: TilePlan) -> R
     // the cost that makes "one giant overbooked tile" (y → 100 %) lose.
     let subtiles_per_a_tile = plan.gb_rows_a.div_ceil(plan.pe_rows_a) as u128;
     let batch_floor = subtiles_per_a_tile.div_ceil(arch.pe_count as u128).max(1);
-    let pe_array_resident =
-        (arch.pe_count as u128 * resident_pe as u128).max(1);
+    let pe_array_resident = (arch.pe_count as u128 * resident_pe as u128).max(1);
     let batches_for = |occ: u128| batch_floor.max(occ.div_ceil(pe_array_resident));
 
     // Occupancy-dependent sums (full-K panels only; dense-safe 2-D tiles
     // can never overflow).
-    let (dram_a, gb_refetch_a_total, bumped_a_total, overbooked_a_tiles, total_batches) =
-        if plan.full_k {
-            let panels = RowPanels::new(profile, plan.gb_rows_a);
-            let mut dram_a: u128 = 0;
-            let mut refetch_total: u128 = 0;
-            let mut bumped_total: u128 = 0;
-            let mut over = 0usize;
-            let mut batches: u128 = 0;
-            for occ in panels.occupancies() {
-                let rf =
-                    refetch(occ, cap_gb, resident_gb, plan.overbooking, plan.gb_rows_a) as u128;
-                dram_a += occ as u128 + (n_b - 1) * rf;
-                refetch_total += rf;
-                batches += batches_for(occ as u128);
-                if occ > cap_gb {
-                    over += 1;
-                    bumped_total += (occ - resident_gb.min(occ)) as u128;
-                }
+    let (dram_a, gb_refetch_a_total, bumped_a_total, overbooked_a_tiles, total_batches) = if plan
+        .full_k
+    {
+        let panels = RowPanels::new(profile, plan.gb_rows_a);
+        let mut dram_a: u128 = 0;
+        let mut refetch_total: u128 = 0;
+        let mut bumped_total: u128 = 0;
+        let mut over = 0usize;
+        let mut batches: u128 = 0;
+        for occ in panels.occupancies() {
+            let rf = refetch(occ, cap_gb, resident_gb, plan.overbooking, plan.gb_rows_a) as u128;
+            dram_a += occ as u128 + (n_b - 1) * rf;
+            refetch_total += rf;
+            batches += batches_for(occ as u128);
+            if occ > cap_gb {
+                over += 1;
+                bumped_total += (occ - resident_gb.min(occ)) as u128;
             }
-            (dram_a, refetch_total, bumped_total, over, batches)
-        } else {
-            let avg_occ = nnz / n_a.max(1);
-            (nnz, 0, 0, 0, n_a * batches_for(avg_occ))
-        };
+        }
+        (dram_a, refetch_total, bumped_total, over, batches)
+    } else {
+        let avg_occ = nnz / n_a.max(1);
+        (nnz, 0, 0, 0, n_a * batches_for(avg_occ))
+    };
 
     // B side: per-pass occupancy and refetch sums over B tiles. The bumped
     // portion of an overbooked B-tile is refetched once per extra wave.
@@ -222,8 +221,7 @@ pub fn simulate(profile: &MatrixProfile, arch: &ArchConfig, plan: TilePlan) -> R
         reused_fraction: if reuse_opportunities == 0 {
             1.0
         } else {
-            ((a_reads - dram_a.min(a_reads)) as f64 / reuse_opportunities as f64)
-                .clamp(0.0, 1.0)
+            ((a_reads - dram_a.min(a_reads)) as f64 / reuse_opportunities as f64).clamp(0.0, 1.0)
         },
         overbooked_a_tiles,
         total_a_tiles: n_a as usize,

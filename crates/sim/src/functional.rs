@@ -11,11 +11,24 @@
 //! The engine models one buffered level (DRAM → operand buffer → compute),
 //! i.e. the analytical model with a degenerate PE level — exactly the part
 //! of the hierarchy overbooking changes.
-
-use std::collections::HashMap;
+//!
+//! # Execution substrate
+//!
+//! Row panels of `A` produce disjoint row ranges of `Z`, so panels execute
+//! independently — serially in deterministic order with `threads == 1`, or
+//! fanned out across a rayon pool with [`run_with_threads`]. Within a
+//! panel the engine walks CSR row slices directly (the stationary tile is
+//! never materialized as a coordinate list), slices each streamed B tile
+//! through a precomputed [`TileColPtr`] column-pointer view instead of a
+//! per-element binary search, and accumulates into a dense per-panel
+//! scratch (the SPA formulation, matching `tailors_tensor::ops::spmspm`).
+//! Panel outputs are stitched in panel order, so results — including every
+//! floating-point accumulation order — are bit-identical for every thread
+//! count, and bit-identical to the retained seed engine
+//! [`reference_run`].
 
 use tailors_eddo::{Buffet, EddoError, Tailor, TailorConfig};
-use tailors_tensor::{CooMatrix, CsrMatrix};
+use tailors_tensor::{CooMatrix, CsrMatrix, TileColPtr};
 
 /// Configuration of a functional run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +67,10 @@ type Elem = (u32, u32, f64);
 /// Executes the tiled dataflow on `a`, returning the output and DRAM
 /// traffic counts.
 ///
+/// Uses every thread rayon currently advertises (honoring
+/// `RAYON_NUM_THREADS` and any enclosing pool); see [`run_with_threads`]
+/// to pin the count. The result does not depend on the thread count.
+///
 /// # Errors
 ///
 /// Propagates buffer-protocol errors (none occur for well-formed input).
@@ -61,91 +78,320 @@ type Elem = (u32, u32, f64);
 /// # Panics
 ///
 /// Panics if `a` is not square or the configuration is degenerate
-/// (`capacity == 0`, or `fifo_region >= capacity` while overbooking).
+/// (`capacity == 0`, `rows_a == 0`, or `cols_b == 0`). An invalid Tailor
+/// sizing (`fifo_region == 0` or `fifo_region >= capacity` while
+/// overbooking) is reported through the `Err` channel instead.
 pub fn run(a: &CsrMatrix, config: &FunctionalConfig) -> Result<FunctionalResult, EddoError> {
+    run_with_threads(a, config, rayon::current_num_threads())
+}
+
+/// [`run`] with an explicit worker-thread count (`1` = fully serial,
+/// deterministic-by-construction path; results are identical either way).
+///
+/// # Errors
+///
+/// Propagates buffer-protocol errors (none occur for well-formed input).
+///
+/// # Panics
+///
+/// As [`run`]; additionally if `threads == 0`.
+pub fn run_with_threads(
+    a: &CsrMatrix,
+    config: &FunctionalConfig,
+    threads: usize,
+) -> Result<FunctionalResult, EddoError> {
     assert_eq!(a.nrows(), a.ncols(), "A·Aᵀ expects a square matrix");
     assert!(config.capacity > 0, "capacity must be positive");
+    assert!(
+        config.rows_a > 0 && config.cols_b > 0,
+        "tile dimensions must be positive"
+    );
+    assert!(threads > 0, "thread count must be positive");
     let b = a.transpose();
     let n = a.nrows();
-    let n_a_tiles = n.div_ceil(config.rows_a.max(1));
-    let n_b_tiles = n.div_ceil(config.cols_b.max(1));
+    let rows_a = config.rows_a;
+    let cols_b = config.cols_b;
+    let n_a_tiles = n.div_ceil(rows_a);
+    let n_b_tiles = n.div_ceil(cols_b);
 
-    let mut acc: HashMap<(u32, u32), f64> = HashMap::new();
+    // Streamed-operand traffic: every A tile streams all of B exactly once
+    // (tile occupancies are row-pointer differences summing to nnz), so the
+    // per-(ti, tj) row scans of the seed engine collapse to one constant.
+    let dram_b_per_a_tile: u64 = a.nnz() as u64;
+    // Column-pointer view of B at the tile grid: row k ∩ tile tj becomes an
+    // O(1) slice instead of a per-element partition_point. The view costs
+    // nrows × (n_tiles + 1) indices; when a degenerate tiling (tiny cols_b
+    // on a wide B) would make that dwarf the matrix itself, skip it and let
+    // panels fall back to per-element range searches.
+    let view_cells = b.nrows() * (n_b_tiles + 1);
+    let b_tiles = if view_cells <= 8 * b.nnz() + 4096 {
+        let view = b.tile_col_ptr(cols_b);
+        debug_assert_eq!(view.n_tiles(), n_b_tiles);
+        Some(view)
+    } else {
+        None
+    };
+
+    let panel = |ti: usize| -> Result<PanelOutput, EddoError> {
+        run_panel(a, &b, b_tiles.as_ref(), config, ti, n_b_tiles)
+    };
+
+    let panel_results: Vec<Result<PanelOutput, EddoError>> = if threads == 1 || n_a_tiles <= 1 {
+        (0..n_a_tiles).map(panel).collect()
+    } else {
+        use rayon::prelude::*;
+        crate::in_thread_pool(threads, || {
+            (0..n_a_tiles).into_par_iter().map(panel).collect()
+        })
+    };
+
+    // Stitch disjoint row panels, in panel order, into one CSR output.
+    let mut row_ptr: Vec<usize> = Vec::with_capacity(n + 1);
+    row_ptr.push(0);
+    let mut cols: Vec<u32> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
     let mut dram_a = 0u64;
     let mut dram_b = 0u64;
     let mut overbooked = 0usize;
-
-    for ti in 0..n_a_tiles {
-        let m0 = ti * config.rows_a;
-        let m1 = ((ti + 1) * config.rows_a).min(n);
-        // Materialize the tile's elements in stream (row-major) order —
-        // this is what the parent's address generator would walk.
-        let tile: Vec<Elem> = (m0..m1)
-            .flat_map(|m| {
-                let row = a.row(m);
-                row.coords()
-                    .iter()
-                    .zip(row.values())
-                    .map(move |(&k, &v)| (m as u32, k, v))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        if tile.len() > config.capacity {
-            overbooked += 1;
+    for result in panel_results {
+        let p = result?;
+        for len in p.row_lens {
+            row_ptr.push(row_ptr.last().expect("non-empty") + len);
         }
-
-        let mut driver = TileDriver::new(&tile, config)?;
-        for tj in 0..n_b_tiles {
-            let n0 = (tj * config.cols_b) as u32;
-            let n1 = (((tj + 1) * config.cols_b).min(n)) as u32;
-            // Stream the B tile from DRAM: its occupancy is the nonzeros of
-            // B columns [n0, n1), i.e. rows n0..n1 of A.
-            for col in n0..n1 {
-                dram_b += a.row_nnz(col as usize) as u64;
-            }
-            // Traverse the stationary tile once, intersecting each element
-            // against the B tile.
-            driver.traverse(|&(m, k, va)| {
-                let row_b = b.row(k as usize);
-                let coords = row_b.coords();
-                let start = coords.partition_point(|&c| c < n0);
-                for (idx, &nn) in coords[start..].iter().enumerate() {
-                    if nn >= n1 {
-                        break;
-                    }
-                    let vb = row_b.values()[start + idx];
-                    *acc.entry((m, nn)).or_insert(0.0) += va * vb;
-                }
-            })?;
-        }
-        dram_a += driver.fetches();
+        cols.extend_from_slice(&p.cols);
+        vals.extend_from_slice(&p.vals);
+        dram_a += p.dram_a_fetches;
+        dram_b += dram_b_per_a_tile;
+        overbooked += usize::from(p.overbooked);
     }
-
-    let mut coo = CooMatrix::with_capacity(n, n, acc.len());
-    for ((m, nn), v) in acc {
-        if v != 0.0 {
-            coo.push(m as usize, nn as usize, v)
-                .expect("accumulator coordinates in bounds");
-        }
-    }
+    let z = CsrMatrix::from_parts(n, n, row_ptr, cols, vals)
+        .expect("panel emission produces canonical CSR");
     Ok(FunctionalResult {
-        z: CsrMatrix::from_coo(&coo),
+        z,
         dram_a_fetches: dram_a,
         dram_b_fetches: dram_b,
         overbooked_a_tiles: overbooked,
     })
 }
 
+/// Output of one stationary row panel.
+struct PanelOutput {
+    /// Nonzeros per output row of the panel, in row order.
+    row_lens: Vec<usize>,
+    /// Sorted output columns, rows concatenated.
+    cols: Vec<u32>,
+    /// Output values parallel to `cols`.
+    vals: Vec<f64>,
+    dram_a_fetches: u64,
+    overbooked: bool,
+}
+
+/// Executes all B-tile traversals for stationary panel `ti`.
+///
+/// `b_tiles == None` is the memory-guarded fallback: B-row × tile ranges
+/// are found by per-element binary search, as in the seed engine.
+fn run_panel(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    b_tiles: Option<&TileColPtr>,
+    config: &FunctionalConfig,
+    ti: usize,
+    n_b_tiles: usize,
+) -> Result<PanelOutput, EddoError> {
+    let n = a.nrows();
+    let rows_a = config.rows_a;
+    let m0 = ti * rows_a;
+    let m1 = ((ti + 1) * rows_a).min(n);
+    let tile = PanelElems::new(a, m0, m1);
+    let overbooked = tile.len() > config.capacity;
+
+    let b_row_ptr = b.row_ptr();
+    let b_cols = b.col_indices();
+    let b_vals = b.values();
+    let cols_b = config.cols_b;
+
+    // Dense SPA scratch spanning the panel's output rows: `(m - m0, nn)`
+    // accumulates at `dense[(m - m0) * n + nn]`. Touched coordinates are
+    // tracked per row so extraction stays proportional to the output. The
+    // scratch is thread-local and reused across panels and runs — it is
+    // zeroed once when a thread first (or ever wider) needs it, and every
+    // exit path below restores the all-zero invariant by clearing exactly
+    // the touched slots, so a sparse panel never pays an O(rows × n) wipe.
+    let panel_rows = m1 - m0;
+    PANEL_SCRATCH.with(|scratch| {
+        let (dense, touched) = &mut *scratch.borrow_mut();
+        if dense.len() < panel_rows * n {
+            dense.resize(panel_rows * n, 0.0);
+        }
+        debug_assert!(dense.iter().all(|&v| v == 0.0));
+        for t in touched.iter_mut() {
+            t.clear();
+        }
+        if touched.len() < panel_rows {
+            touched.resize(panel_rows, Vec::new());
+        }
+
+        let mut driver = TileDriver::new(tile, config)?;
+        for tj in 0..n_b_tiles {
+            let n0 = (tj * cols_b) as u32;
+            let n1 = ((tj + 1) * cols_b).min(n) as u32;
+            // Traverse the stationary tile once, intersecting each element
+            // against the B tile's column range.
+            let traversal = driver.traverse(|&(m, k, va)| {
+                let (lo, hi) = match b_tiles {
+                    Some(view) => view.row_tile_range(k as usize, tj),
+                    None => {
+                        let (rlo, rhi) = (b_row_ptr[k as usize], b_row_ptr[k as usize + 1]);
+                        let coords = &b_cols[rlo..rhi];
+                        let start = rlo + coords.partition_point(|&c| c < n0);
+                        let end = rlo + coords.partition_point(|&c| c < n1);
+                        (start, end)
+                    }
+                };
+                let local = (m as usize - m0) * n;
+                let row_touched = &mut touched[m as usize - m0];
+                for (&nn, &vb) in b_cols[lo..hi].iter().zip(&b_vals[lo..hi]) {
+                    let slot = &mut dense[local + nn as usize];
+                    if *slot == 0.0 {
+                        row_touched.push(nn);
+                    }
+                    *slot += va * vb;
+                }
+            });
+            if let Err(e) = traversal {
+                // Restore the all-zero invariant before propagating.
+                for (lr, row_touched) in touched.iter().enumerate().take(panel_rows) {
+                    for &nn in row_touched {
+                        dense[lr * n + nn as usize] = 0.0;
+                    }
+                }
+                return Err(e);
+            }
+        }
+
+        let mut row_lens = Vec::with_capacity(panel_rows);
+        let mut cols: Vec<u32> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for (lr, row_touched) in touched.iter_mut().take(panel_rows).enumerate() {
+            row_touched.sort_unstable();
+            let before = cols.len();
+            for &nn in row_touched.iter() {
+                // `take` doubles as the scratch reset: every touched slot
+                // (duplicates included) is zeroed exactly here.
+                let v = core::mem::take(&mut dense[lr * n + nn as usize]);
+                if v != 0.0 {
+                    cols.push(nn);
+                    vals.push(v);
+                }
+            }
+            row_lens.push(cols.len() - before);
+        }
+
+        Ok(PanelOutput {
+            row_lens,
+            cols,
+            vals,
+            dram_a_fetches: driver.fetches(),
+            overbooked,
+        })
+    })
+}
+
+thread_local! {
+    /// Per-thread SPA scratch for [`run_panel`]: the dense accumulator
+    /// (all-zero between panels, by construction) and the per-row touched
+    /// lists. Reused across panels and runs on the same thread.
+    static PANEL_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<Vec<u32>>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Indexed access to a stationary tile's elements.
+///
+/// The parent's address generator walks the tile in stream (row-major)
+/// order; implementations map a flat element index to `(m, k, value)`.
+trait TileSource {
+    /// Number of elements in the tile.
+    fn len(&self) -> usize;
+    /// The `i`-th element in stream order.
+    fn get(&self, i: usize) -> Elem;
+}
+
+/// A row panel of a CSR matrix viewed in place — no materialization; flat
+/// indices address the matrix's own nonzero arrays.
+struct PanelElems<'a> {
+    a: &'a CsrMatrix,
+    /// Row pointers of rows `m0..=m1`, re-based at the panel.
+    row_ptr: &'a [usize],
+    /// Last resolved local row — buffer fetches walk the tile in stream
+    /// order (monotone, wrapping cyclically under overbooking), so row
+    /// lookup from the hint is amortized O(1).
+    cursor: core::cell::Cell<usize>,
+    m0: usize,
+    base: usize,
+    len: usize,
+}
+
+impl<'a> PanelElems<'a> {
+    fn new(a: &'a CsrMatrix, m0: usize, m1: usize) -> Self {
+        let rp = a.row_ptr();
+        PanelElems {
+            a,
+            row_ptr: &rp[m0..=m1],
+            cursor: core::cell::Cell::new(0),
+            m0,
+            base: rp[m0],
+            len: rp[m1] - rp[m0],
+        }
+    }
+}
+
+impl TileSource for PanelElems<'_> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, i: usize) -> Elem {
+        debug_assert!(i < self.len);
+        let p = self.base + i;
+        // Row containing flat index p, found by advancing the cursor from
+        // its last position (rewinding to the panel start when the stream
+        // wraps); `p < row_ptr[last]` bounds the walk.
+        let mut lr = self.cursor.get();
+        if p < self.row_ptr[lr] {
+            lr = 0;
+        }
+        while p >= self.row_ptr[lr + 1] {
+            lr += 1;
+        }
+        self.cursor.set(lr);
+        (
+            (self.m0 + lr) as u32,
+            self.a.col_indices()[p],
+            self.a.values()[p],
+        )
+    }
+}
+
+impl TileSource for &[Elem] {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn get(&self, i: usize) -> Elem {
+        self[i]
+    }
+}
+
 /// Drives sequential traversals of one stationary tile through either a
 /// Tailor or a buffet, counting parent fetches.
-enum TileDriver<'t> {
+enum TileDriver<S: TileSource> {
     Tailor {
-        tile: &'t [Elem],
+        tile: S,
         buf: Tailor<Elem>,
         fetches: u64,
     },
     Buffet {
-        tile: &'t [Elem],
+        tile: S,
         buf: Buffet<Elem>,
         window_start: usize,
         window_end: usize,
@@ -153,8 +399,8 @@ enum TileDriver<'t> {
     },
 }
 
-impl<'t> TileDriver<'t> {
-    fn new(tile: &'t [Elem], config: &FunctionalConfig) -> Result<Self, EddoError> {
+impl<S: TileSource> TileDriver<S> {
+    fn new(tile: S, config: &FunctionalConfig) -> Result<Self, EddoError> {
         if config.overbooking {
             let tc = TailorConfig::new(config.capacity, config.fifo_region)?;
             let mut buf = Tailor::new(tc);
@@ -186,11 +432,7 @@ impl<'t> TileDriver<'t> {
     /// element exactly once.
     fn traverse<F: FnMut(&Elem)>(&mut self, mut visit: F) -> Result<(), EddoError> {
         match self {
-            TileDriver::Tailor {
-                tile,
-                buf,
-                fetches,
-            } => {
+            TileDriver::Tailor { tile, buf, fetches } => {
                 for i in 0..tile.len() {
                     loop {
                         match buf.read(i) {
@@ -199,12 +441,12 @@ impl<'t> TileDriver<'t> {
                                 break;
                             }
                             Err(EddoError::NotYetFilled { .. }) => {
-                                match buf.fill(tile[buf.occupancy()]) {
+                                match buf.fill(tile.get(buf.occupancy())) {
                                     Ok(()) => *fetches += 1,
                                     Err(EddoError::Full) => {
                                         let idx =
                                             buf.next_stream_index().unwrap_or(buf.occupancy());
-                                        buf.ow_fill(tile[idx])?;
+                                        buf.ow_fill(tile.get(idx))?;
                                         *fetches += 1;
                                     }
                                     Err(e) => return Err(e),
@@ -212,7 +454,7 @@ impl<'t> TileDriver<'t> {
                             }
                             Err(EddoError::Bumped { .. }) => {
                                 let idx = buf.next_stream_index().expect("overbooked");
-                                buf.ow_fill(tile[idx])?;
+                                buf.ow_fill(tile.get(idx))?;
                                 *fetches += 1;
                             }
                             Err(e) => return Err(e),
@@ -241,7 +483,7 @@ impl<'t> TileDriver<'t> {
                             buf.shrink(1)?;
                             *window_start += 1;
                         }
-                        buf.fill(tile[*window_end])?;
+                        buf.fill(tile.get(*window_end))?;
                         *window_end += 1;
                         *fetches += 1;
                     }
@@ -252,6 +494,100 @@ impl<'t> TileDriver<'t> {
             }
         }
     }
+}
+
+/// The seed engine, retained verbatim as the oracle for the rewritten
+/// [`run`]: materializes each stationary tile as a coordinate list,
+/// re-searches each B row per element, and accumulates into a hash map.
+///
+/// Property tests assert [`run`] is bit-identical to this on arbitrary
+/// inputs; benchmarks measure the gap.
+///
+/// # Errors
+///
+/// Propagates buffer-protocol errors (none occur for well-formed input).
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn reference_run(
+    a: &CsrMatrix,
+    config: &FunctionalConfig,
+) -> Result<FunctionalResult, EddoError> {
+    use std::collections::HashMap;
+
+    assert_eq!(a.nrows(), a.ncols(), "A·Aᵀ expects a square matrix");
+    assert!(config.capacity > 0, "capacity must be positive");
+    assert!(
+        config.rows_a > 0 && config.cols_b > 0,
+        "tile dimensions must be positive"
+    );
+    let b = a.transpose();
+    let n = a.nrows();
+    let n_a_tiles = n.div_ceil(config.rows_a.max(1));
+    let n_b_tiles = n.div_ceil(config.cols_b.max(1));
+
+    let mut acc: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut dram_a = 0u64;
+    let mut dram_b = 0u64;
+    let mut overbooked = 0usize;
+
+    for ti in 0..n_a_tiles {
+        let m0 = ti * config.rows_a;
+        let m1 = ((ti + 1) * config.rows_a).min(n);
+        // Materialize the tile's elements in stream (row-major) order.
+        let tile: Vec<Elem> = (m0..m1)
+            .flat_map(|m| {
+                let row = a.row(m);
+                row.coords()
+                    .iter()
+                    .zip(row.values())
+                    .map(move |(&k, &v)| (m as u32, k, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if tile.len() > config.capacity {
+            overbooked += 1;
+        }
+
+        let mut driver = TileDriver::new(tile.as_slice(), config)?;
+        for tj in 0..n_b_tiles {
+            let n0 = (tj * config.cols_b) as u32;
+            let n1 = (((tj + 1) * config.cols_b).min(n)) as u32;
+            // Stream the B tile from DRAM: its occupancy is the nonzeros of
+            // B columns [n0, n1), i.e. rows n0..n1 of A.
+            for col in n0..n1 {
+                dram_b += a.row_nnz(col as usize) as u64;
+            }
+            driver.traverse(|&(m, k, va)| {
+                let row_b = b.row(k as usize);
+                let coords = row_b.coords();
+                let start = coords.partition_point(|&c| c < n0);
+                for (idx, &nn) in coords[start..].iter().enumerate() {
+                    if nn >= n1 {
+                        break;
+                    }
+                    let vb = row_b.values()[start + idx];
+                    *acc.entry((m, nn)).or_insert(0.0) += va * vb;
+                }
+            })?;
+        }
+        dram_a += driver.fetches();
+    }
+
+    let mut coo = CooMatrix::with_capacity(n, n, acc.len());
+    for ((m, nn), v) in acc {
+        if v != 0.0 {
+            coo.push(m as usize, nn as usize, v)
+                .expect("accumulator coordinates in bounds");
+        }
+    }
+    Ok(FunctionalResult {
+        z: CsrMatrix::from_coo(&coo),
+        dram_a_fetches: dram_a,
+        dram_b_fetches: dram_b,
+        overbooked_a_tiles: overbooked,
+    })
 }
 
 #[cfg(test)]
@@ -280,7 +616,10 @@ mod tests {
             approx_eq(&result.z, &reference, 1e-9),
             "functional output must equal the reference product"
         );
-        assert!(result.overbooked_a_tiles > 0, "test should exercise overbooking");
+        assert!(
+            result.overbooked_a_tiles > 0,
+            "test should exercise overbooking"
+        );
     }
 
     #[test]
@@ -298,6 +637,48 @@ mod tests {
         assert_eq!(result.overbooked_a_tiles, 0);
         // Fitting tiles are fetched exactly once.
         assert_eq!(result.dram_a_fetches, a.nnz() as u64);
+    }
+
+    #[test]
+    fn rewritten_engine_is_bit_identical_to_seed_engine() {
+        let a = small();
+        for overbooking in [false, true] {
+            for (rows_a, cols_b) in [(16, 16), (7, 11), (64, 64), (1, 64)] {
+                let config = FunctionalConfig {
+                    capacity: 40,
+                    fifo_region: 8,
+                    rows_a,
+                    cols_b,
+                    overbooking,
+                };
+                let new = run(&a, &config).unwrap();
+                let old = reference_run(&a, &config).unwrap();
+                assert_eq!(
+                    new.z, old.z,
+                    "rows_a={rows_a} cols_b={cols_b} ob={overbooking}"
+                );
+                assert_eq!(new.dram_a_fetches, old.dram_a_fetches);
+                assert_eq!(new.dram_b_fetches, old.dram_b_fetches);
+                assert_eq!(new.overbooked_a_tiles, old.overbooked_a_tiles);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let a = small();
+        let config = FunctionalConfig {
+            capacity: 40,
+            fifo_region: 8,
+            rows_a: 8,
+            cols_b: 16,
+            overbooking: true,
+        };
+        let serial = run_with_threads(&a, &config, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = run_with_threads(&a, &config, threads).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]
@@ -388,5 +769,43 @@ mod tests {
         assert_eq!(r.z.nnz(), 0);
         assert_eq!(r.dram_a_fetches, 0);
         assert_eq!(r.dram_b_fetches, 0);
+        // Zero-dimensional input: zero tiles on both axes.
+        let z = run(&CsrMatrix::new(0, 0), &config).unwrap();
+        assert_eq!(z.z.nrows(), 0);
+        assert_eq!(z.dram_a_fetches, 0);
+    }
+
+    #[test]
+    fn degenerate_tiling_falls_back_without_the_column_view() {
+        // cols_b = 1 on a 600-column B makes the column-pointer view cost
+        // 600 × 601 cells against ~1k nonzeros — the memory guard skips it
+        // and panels binary-search instead. Results must be unchanged.
+        let a = GenSpec::uniform(600, 600, 1_000).seed(21).generate();
+        let config = FunctionalConfig {
+            capacity: 300,
+            fifo_region: 32,
+            rows_a: 200,
+            cols_b: 1,
+            overbooking: true,
+        };
+        let new = run_with_threads(&a, &config, 2).unwrap();
+        let old = reference_run(&a, &config).unwrap();
+        assert_eq!(new.z, old.z);
+        assert_eq!(new.dram_a_fetches, old.dram_a_fetches);
+        assert_eq!(new.dram_b_fetches, old.dram_b_fetches);
+    }
+
+    #[test]
+    fn panel_elems_maps_flat_indices_through_empty_rows() {
+        // Rows 1 and 2 are empty; flat indices must land in rows 0 and 3.
+        let a = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (0, 2, 2.0), (3, 1, 3.0)]).unwrap();
+        let panel = PanelElems::new(&a, 0, 4);
+        assert_eq!(panel.len(), 3);
+        assert_eq!(panel.get(0), (0, 0, 1.0));
+        assert_eq!(panel.get(1), (0, 2, 2.0));
+        assert_eq!(panel.get(2), (3, 1, 3.0));
+        let tail = PanelElems::new(&a, 2, 4);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail.get(0), (3, 1, 3.0));
     }
 }

@@ -41,6 +41,22 @@ pub mod variants;
 
 pub use arch::ArchConfig;
 pub use dataflow::simulate;
+
+/// Runs `f` with a rayon pool of exactly `threads` workers active: the
+/// ambient pool when it already has that width (no setup cost), otherwise
+/// a pool built for the call. Shared by the functional engine and the
+/// bench suite driver so the dispatch policy lives in one place.
+pub fn in_thread_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    if threads == rayon::current_num_threads() {
+        f()
+    } else {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction cannot fail in the vendored shim")
+            .install(f)
+    }
+}
 pub use energy::{ActivityCounts, EnergyModel};
 pub use metrics::{DramBreakdown, ReuseStats, RunMetrics};
 pub use plan::TilePlan;

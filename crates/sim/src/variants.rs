@@ -90,8 +90,8 @@ impl Variant {
                 .normalized(profile.nrows())
             }
             Variant::ExTensorOB { y, k } => {
-                let config = SwiftilesConfig::new(*y, *k)
-                    .expect("overbooked variant requires valid y");
+                let config =
+                    SwiftilesConfig::new(*y, *k).expect("overbooked variant requires valid y");
                 let gb = TilingStrategy::Overbooked(config).choose(profile, cap_gb);
                 let pe = TilingStrategy::Overbooked(config).choose(profile, cap_pe);
                 TilePlan {
@@ -140,9 +140,7 @@ mod tests {
         assert!(!plan.full_k);
         assert!(!plan.overbooking);
         // A dense tile of this shape fits the operand partition.
-        assert!(
-            (plan.gb_rows_a as u64) * (plan.gb_rows_a as u64) <= arch.gb_operand_capacity()
-        );
+        assert!((plan.gb_rows_a as u64) * (plan.gb_rows_a as u64) <= arch.gb_operand_capacity());
     }
 
     #[test]

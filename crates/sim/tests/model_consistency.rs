@@ -7,10 +7,22 @@ use tailors_tensor::MatrixProfile;
 
 fn profiles() -> Vec<MatrixProfile> {
     vec![
-        GenSpec::banded(8_000, 8_000, 120_000).seed(1).generate().profile(),
-        GenSpec::power_law(8_000, 8_000, 80_000).seed(2).generate().profile(),
-        GenSpec::clustered(8_000, 8_000, 60_000).seed(3).generate().profile(),
-        GenSpec::uniform(8_000, 8_000, 60_000).seed(4).generate().profile(),
+        GenSpec::banded(8_000, 8_000, 120_000)
+            .seed(1)
+            .generate()
+            .profile(),
+        GenSpec::power_law(8_000, 8_000, 80_000)
+            .seed(2)
+            .generate()
+            .profile(),
+        GenSpec::clustered(8_000, 8_000, 60_000)
+            .seed(3)
+            .generate()
+            .profile(),
+        GenSpec::uniform(8_000, 8_000, 60_000)
+            .seed(4)
+            .generate()
+            .profile(),
     ]
 }
 

@@ -103,6 +103,36 @@ impl CsrMatrix {
         })
     }
 
+    /// Builds a CSR matrix from buffers already in canonical form (sorted,
+    /// strictly increasing columns per row, consistent row pointers).
+    ///
+    /// Used by kernels whose construction guarantees canonical output (the
+    /// SPA multiply emits sorted, deduplicated rows); invariants are checked
+    /// in debug builds only.
+    pub(crate) fn from_sorted_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), nrows + 1);
+        debug_assert_eq!(col_idx.len(), vals.len());
+        debug_assert_eq!(*row_ptr.last().expect("non-empty"), col_idx.len());
+        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..nrows).all(|r| {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            row.windows(2).all(|w| w[0] < w[1]) && row.last().is_none_or(|&c| (c as usize) < ncols)
+        }));
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
     /// Builds a CSR matrix from a COO matrix, sorting entries and summing
     /// duplicates.
     pub fn from_coo(coo: &CooMatrix) -> Self {
@@ -135,7 +165,12 @@ impl CsrMatrix {
         for r in 0..nrows {
             let (lo, hi) = (counts[r], counts[r + 1]);
             scratch.clear();
-            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.extend(
+                cols[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut iter = scratch.iter().copied().peekable();
             while let Some((c, mut v)) = iter.next() {
@@ -309,8 +344,58 @@ impl CsrMatrix {
         for &c in &self.col_idx {
             col_nnz[c as usize] += 1;
         }
-        let row_nnz: Vec<u32> = (0..self.nrows).map(|r| self.row_nnz(r) as u32).collect();
+        // Row counts fall directly out of adjacent row-pointer differences.
+        let row_nnz: Vec<u32> = self
+            .row_ptr
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u32)
+            .collect();
         MatrixProfile::new(self.nrows, self.ncols, row_nnz, col_nnz)
+    }
+
+    /// Precomputes, for a uniform grid of column tiles of width
+    /// `tile_cols`, where each row's nonzeros cross every tile boundary —
+    /// a CSC-flavored column-pointer view over the CSR layout.
+    ///
+    /// A tiled traversal then slices row `r` restricted to tile `t` in O(1)
+    /// via [`TileColPtr::row_tile_range`] instead of binary-searching the
+    /// row per element. Construction is one pass over the nonzeros.
+    ///
+    /// The view stores `nrows × (n_tiles + 1)` indices — callers choosing
+    /// very narrow tiles on very wide matrices should weigh that against
+    /// the matrix's own footprint (the functional engine falls back to
+    /// per-element range searches when the view would dominate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_cols == 0`.
+    pub fn tile_col_ptr(&self, tile_cols: usize) -> TileColPtr {
+        assert!(tile_cols > 0, "tile width must be positive");
+        let n_tiles = self.ncols.div_ceil(tile_cols);
+        let stride = n_tiles + 1;
+        let mut ptr = vec![0usize; self.nrows * stride];
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let base = r * stride;
+            ptr[base] = lo;
+            let mut tile = 0usize;
+            for (i, &c) in self.col_idx[lo..hi].iter().enumerate() {
+                let t = c as usize / tile_cols;
+                while tile < t {
+                    tile += 1;
+                    ptr[base + tile] = lo + i;
+                }
+            }
+            while tile < n_tiles {
+                tile += 1;
+                ptr[base + tile] = hi;
+            }
+        }
+        TileColPtr {
+            n_tiles,
+            stride,
+            ptr,
+        }
     }
 
     /// Raw row-pointer array (length `nrows + 1`).
@@ -329,6 +414,54 @@ impl CsrMatrix {
     }
 }
 
+/// Column-tile pointers for one matrix at one tile width; see
+/// [`CsrMatrix::tile_col_ptr`].
+///
+/// # Example
+///
+/// ```
+/// use tailors_tensor::CsrMatrix;
+///
+/// let m = CsrMatrix::from_triplets(
+///     2,
+///     8,
+///     &[(0, 1, 1.0), (0, 4, 2.0), (0, 6, 3.0), (1, 3, 4.0)],
+/// )
+/// .unwrap();
+/// let view = m.tile_col_ptr(4); // tiles: columns [0,4) and [4,8)
+/// let (lo, hi) = view.row_tile_range(0, 1);
+/// assert_eq!(&m.col_indices()[lo..hi], &[4, 6]);
+/// assert_eq!(view.row_tile_range(1, 1), (4, 4)); // empty slice
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileColPtr {
+    n_tiles: usize,
+    stride: usize,
+    /// Row-major `[row][tile_boundary]` indices into the matrix's
+    /// `col_idx` / `vals` arrays, length `nrows * (n_tiles + 1)`.
+    ptr: Vec<usize>,
+}
+
+impl TileColPtr {
+    /// Number of column tiles the view was built for.
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Absolute `(start, end)` range into the matrix's nonzero arrays for
+    /// row `row` restricted to column tile `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `tile` is out of range.
+    #[inline]
+    pub fn row_tile_range(&self, row: usize, tile: usize) -> (usize, usize) {
+        assert!(tile < self.n_tiles, "tile index out of range");
+        let base = row * self.stride;
+        (self.ptr[base + tile], self.ptr[base + tile + 1])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,7 +470,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             4,
-            &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 2, 4.0), (2, 3, 5.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 3, 2.0),
+                (1, 0, 3.0),
+                (2, 2, 4.0),
+                (2, 3, 5.0),
+            ],
         )
         .unwrap()
     }
@@ -402,13 +541,9 @@ mod tests {
         // Bad row_ptr length.
         assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
         // Non-monotonic row_ptr.
-        assert!(
-            CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
         // Unsorted columns.
-        assert!(
-            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // Column out of bounds.
         assert!(CsrMatrix::from_parts(1, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
         // A valid one.
@@ -422,6 +557,57 @@ mod tests {
         assert_eq!(m.nnz(), 2);
         assert_eq!(m.get(0, 1), Some(1.0));
         assert_eq!(m.get(1, 0), Some(2.0));
+    }
+
+    #[test]
+    fn tile_col_ptr_matches_partition_point() {
+        let m = crate::gen::GenSpec::uniform(40, 64, 400)
+            .seed(11)
+            .generate();
+        for tile_cols in [1usize, 3, 16, 64, 100] {
+            let view = m.tile_col_ptr(tile_cols);
+            let n_tiles = 64usize.div_ceil(tile_cols);
+            assert_eq!(view.n_tiles(), n_tiles);
+            for r in 0..m.nrows() {
+                let (lo, hi) = (m.row_ptr()[r], m.row_ptr()[r + 1]);
+                let coords = &m.col_indices()[lo..hi];
+                for t in 0..n_tiles {
+                    let n0 = (t * tile_cols) as u32;
+                    let n1 = ((t + 1) * tile_cols).min(64) as u32;
+                    let expect_lo = lo + coords.partition_point(|&c| c < n0);
+                    let expect_hi = lo + coords.partition_point(|&c| c < n1);
+                    assert_eq!(
+                        view.row_tile_range(r, t),
+                        (expect_lo, expect_hi),
+                        "row {r} tile {t} width {tile_cols}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_col_ptr_handles_empty_matrix() {
+        let m = CsrMatrix::new(3, 10);
+        let view = m.tile_col_ptr(4);
+        assert_eq!(view.n_tiles(), 3);
+        for r in 0..3 {
+            for t in 0..3 {
+                assert_eq!(view.row_tile_range(r, t), (0, 0));
+            }
+        }
+        // Zero columns ⇒ zero tiles, matching `ncols.div_ceil(w)`.
+        assert_eq!(CsrMatrix::new(4, 0).tile_col_ptr(8).n_tiles(), 0);
+        assert_eq!(CsrMatrix::new(0, 0).tile_col_ptr(1).n_tiles(), 0);
+    }
+
+    #[test]
+    fn profile_row_counts_come_from_row_ptr() {
+        let m = small();
+        // One-pass derivation must agree with per-row queries.
+        let p = m.profile();
+        let per_row: Vec<u32> = (0..m.nrows()).map(|r| m.row_nnz(r) as u32).collect();
+        assert_eq!(p.row_nnz(), per_row.as_slice());
     }
 
     #[test]

@@ -288,7 +288,9 @@ impl GenSpec {
         let degrees = self.degrees_from_weights(&weights);
         let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.target_nnz);
         for (r, &deg) in degrees.iter().enumerate() {
-            let lo = r.saturating_sub(halfwidth).min(self.ncols.saturating_sub(1));
+            let lo = r
+                .saturating_sub(halfwidth)
+                .min(self.ncols.saturating_sub(1));
             let hi = (r + halfwidth + 1).min(self.ncols);
             for _ in 0..deg {
                 let c = if rng.gen::<f64>() < scatter_frac || lo >= hi {
@@ -296,7 +298,8 @@ impl GenSpec {
                 } else {
                     rng.gen_range(lo..hi)
                 };
-                coo.push(r, c, value(rng)).expect("in bounds by construction");
+                coo.push(r, c, value(rng))
+                    .expect("in bounds by construction");
             }
         }
         coo
@@ -383,14 +386,17 @@ impl GenSpec {
         let halfwidth = (self.ncols / 1000).max(2).max(min_halfwidth);
         for _ in 0..background_nnz {
             let r = rng.gen_range(0..self.nrows);
-            let lo = r.saturating_sub(halfwidth).min(self.ncols.saturating_sub(1));
+            let lo = r
+                .saturating_sub(halfwidth)
+                .min(self.ncols.saturating_sub(1));
             let hi = (r + halfwidth + 1).min(self.ncols);
             let c = if lo < hi {
                 rng.gen_range(lo..hi)
             } else {
                 rng.gen_range(0..self.ncols)
             };
-            coo.push(r, c, value(rng)).expect("in bounds by construction");
+            coo.push(r, c, value(rng))
+                .expect("in bounds by construction");
         }
         // Clusters: dense diagonal blocks ("urban cores") with power-law
         // sizes, so the tile-occupancy distribution stays heavy-tailed at
@@ -423,7 +429,8 @@ impl GenSpec {
             for _ in 0..q {
                 let r = (start + rng.gen_range(0..side)).min(self.nrows - 1);
                 let c = (start + rng.gen_range(0..side)).min(self.ncols - 1);
-                coo.push(r, c, value(rng)).expect("in bounds by construction");
+                coo.push(r, c, value(rng))
+                    .expect("in bounds by construction");
             }
         }
         coo
@@ -434,7 +441,8 @@ impl GenSpec {
         for _ in 0..self.target_nnz {
             let r = rng.gen_range(0..self.nrows);
             let c = rng.gen_range(0..self.ncols);
-            coo.push(r, c, value(rng)).expect("in bounds by construction");
+            coo.push(r, c, value(rng))
+                .expect("in bounds by construction");
         }
         coo
     }
@@ -512,7 +520,9 @@ mod tests {
 
     #[test]
     fn clustered_has_asymmetric_panels() {
-        let m = GenSpec::clustered(10_000, 10_000, 50_000).seed(4).generate();
+        let m = GenSpec::clustered(10_000, 10_000, 50_000)
+            .seed(4)
+            .generate();
         let p = m.profile();
         let panels = RowPanels::new(&p, 100);
         let occ: Vec<u64> = panels.occupancies().collect();

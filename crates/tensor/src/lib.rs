@@ -49,7 +49,7 @@ pub mod stats;
 pub mod tiling;
 
 pub use coo::CooMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, TileColPtr};
 pub use profile::MatrixProfile;
 
 /// Errors produced when constructing or manipulating sparse matrices.

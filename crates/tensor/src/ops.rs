@@ -1,14 +1,76 @@
-//! Reference sparse kernels.
+//! Sparse kernels: the fast SPA (sparse-accumulator) SpMSpM used across the
+//! workspace, plus retained reference implementations used as oracles.
 //!
-//! These are straightforward, obviously-correct implementations used as
-//! ground truth for the functional accelerator engine, not as fast kernels.
+//! Gustavson's row-wise algorithm computes row `m` of `Z = A·B` as a linear
+//! combination of B rows. The classic formulation accumulates each output
+//! row in a *dense scratch array* (the SPA): `O(ncols)` storage reused for
+//! every row, giving O(1) accumulation per effectual multiply with no
+//! hashing, no per-element searches, and no allocation in the hot loop.
+//! [`spmspm_into`] exposes the allocation-reusing entry point;
+//! [`SpmspmScratch`] carries the scratch between calls.
+//!
+//! The seed's hash-accumulator kernel lives on in [`reference`] — it is the
+//! obviously-correct ground truth the property tests and benchmarks compare
+//! against, never the kernel anything hot calls.
 
-use std::collections::HashMap;
+use crate::{CsrMatrix, TensorError};
 
-use crate::{CooMatrix, CsrMatrix, TensorError};
+/// Reusable workspace for [`spmspm_into`]: a dense accumulator spanning the
+/// output's columns plus the touched-coordinate list.
+///
+/// Reusing one scratch across many multiplies (the tiled engines do this
+/// per row panel) keeps the hot path allocation-free after the first call.
+///
+/// # Example
+///
+/// ```
+/// use tailors_tensor::ops::{spmspm_into, SpmspmScratch};
+/// use tailors_tensor::CsrMatrix;
+///
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+/// let b = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3.0), (1, 0, 4.0)]).unwrap();
+/// let mut scratch = SpmspmScratch::new();
+/// let z1 = spmspm_into(&a, &b, &mut scratch)?;
+/// let z2 = spmspm_into(&b, &a, &mut scratch)?; // same scratch, no realloc
+/// assert_eq!(z1.get(0, 1), Some(3.0));
+/// assert_eq!(z2.get(0, 1), Some(6.0));
+/// assert_eq!(z2.get(1, 0), Some(4.0));
+/// # Ok::<(), tailors_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpmspmScratch {
+    /// Dense per-column accumulator; entries outside `touched` are 0.0.
+    dense: Vec<f64>,
+    /// Columns written this row (may contain duplicates after a transient
+    /// exact cancellation; emission deduplicates).
+    touched: Vec<u32>,
+}
 
-/// Reference sparse matrix-matrix multiply `Z = A·B` (Gustavson's row-wise
-/// algorithm with a hash accumulator).
+impl SpmspmScratch {
+    /// Creates an empty scratch; it grows to the first multiply's width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current dense-accumulator width in columns.
+    pub fn width(&self) -> usize {
+        self.dense.len()
+    }
+
+    fn ensure_width(&mut self, ncols: usize) {
+        if self.dense.len() < ncols {
+            self.dense.resize(ncols, 0.0);
+        }
+    }
+}
+
+/// Sparse matrix-matrix multiply `Z = A·B` (Gustavson + dense SPA
+/// accumulator).
+///
+/// Output values are bit-identical to [`reference::spmspm`]: contributions
+/// to each output coordinate are accumulated in the same (row-of-A) order,
+/// and entries whose sum is exactly `0.0` are dropped, as the reference
+/// does.
 ///
 /// # Errors
 ///
@@ -27,60 +89,125 @@ use crate::{CooMatrix, CsrMatrix, TensorError};
 /// # Ok::<(), tailors_tensor::TensorError>(())
 /// ```
 pub fn spmspm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, TensorError> {
+    let mut scratch = SpmspmScratch::new();
+    spmspm_into(a, b, &mut scratch)
+}
+
+/// [`spmspm`] with caller-owned scratch, reusing its allocations.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.ncols != B.nrows`.
+pub fn spmspm_into(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    scratch: &mut SpmspmScratch,
+) -> Result<CsrMatrix, TensorError> {
     if a.ncols() != b.nrows() {
         return Err(TensorError::ShapeMismatch {
             left: (a.nrows(), a.ncols()),
             right: (b.nrows(), b.ncols()),
         });
     }
-    let mut coo = CooMatrix::new(a.nrows(), b.ncols());
-    let mut acc: HashMap<u32, f64> = HashMap::new();
+    scratch.ensure_width(b.ncols());
+    let dense = &mut scratch.dense;
+    let touched = &mut scratch.touched;
+
+    let b_row_ptr = b.row_ptr();
+    let b_cols = b.col_indices();
+    let b_vals = b.values();
+
+    // Symbolic upper bound on the output size would need a second pass;
+    // start from A's nnz (every multiply has ≥1 output per A row on
+    // average for the workloads here) and let Vec growth amortize.
+    let mut out_row_ptr: Vec<usize> = Vec::with_capacity(a.nrows() + 1);
+    let mut out_cols: Vec<u32> = Vec::with_capacity(a.nnz());
+    let mut out_vals: Vec<f64> = Vec::with_capacity(a.nnz());
+    out_row_ptr.push(0);
+
     for m in 0..a.nrows() {
-        acc.clear();
+        touched.clear();
         let row_a = a.row(m);
         for (&k, &va) in row_a.coords().iter().zip(row_a.values()) {
-            let row_b = b.row(k as usize);
-            for (&n, &vb) in row_b.coords().iter().zip(row_b.values()) {
-                *acc.entry(n).or_insert(0.0) += va * vb;
+            let (lo, hi) = (b_row_ptr[k as usize], b_row_ptr[k as usize + 1]);
+            for (&n, &vb) in b_cols[lo..hi].iter().zip(&b_vals[lo..hi]) {
+                let slot = &mut dense[n as usize];
+                // `0.0` doubles as the "untouched" marker. A transient
+                // exact cancellation re-pushes `n`; emission below
+                // deduplicates because the first visit resets the slot.
+                if *slot == 0.0 {
+                    touched.push(n);
+                }
+                *slot += va * vb;
             }
         }
-        for (&n, &v) in &acc {
+        touched.sort_unstable();
+        for &n in touched.iter() {
+            let v = core::mem::take(&mut dense[n as usize]);
             if v != 0.0 {
-                coo.push(m, n as usize, v)
-                    .expect("accumulator coordinates are in bounds");
+                out_cols.push(n);
+                out_vals.push(v);
             }
         }
+        out_row_ptr.push(out_cols.len());
     }
-    Ok(CsrMatrix::from_coo(&coo))
+
+    Ok(CsrMatrix::from_sorted_parts_unchecked(
+        a.nrows(),
+        b.ncols(),
+        out_row_ptr,
+        out_cols,
+        out_vals,
+    ))
 }
 
-/// Reference `Z = A·Aᵀ`, the paper's evaluation workload (§5.3).
+/// `Z = A·Aᵀ`, the paper's evaluation workload (§5.3), on the SPA kernel.
 pub fn spmspm_a_at(a: &CsrMatrix) -> CsrMatrix {
     let at = a.transpose();
     spmspm(a, &at).expect("A and Aᵀ always have compatible shapes")
 }
 
-/// Counts effectual multiplies and output nonzeros of `A·B` by brute force.
+/// Counts effectual multiplies and output nonzeros of `A·B` symbolically —
+/// a marker-scratch pass over coordinates only, with no value arithmetic
+/// and no materialized output.
 ///
-/// Used to validate the O(K) analytical counts in
-/// [`crate::MatrixProfile::mults_a_b`].
+/// `output_nnz` is the *structural* nonzero count of the product (exact
+/// numerical cancellations are not subtracted; the generators guarantee
+/// positive values, so none occur in the evaluation workloads).
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `A.ncols != B.nrows`.
 pub fn count_work(a: &CsrMatrix, b: &CsrMatrix) -> Result<WorkCounts, TensorError> {
-    let z = spmspm(a, b)?;
+    if a.ncols() != b.nrows() {
+        return Err(TensorError::ShapeMismatch {
+            left: (a.nrows(), a.ncols()),
+            right: (b.nrows(), b.ncols()),
+        });
+    }
+    let b_row_ptr = b.row_ptr();
+    let b_cols = b.col_indices();
+    // Generation-stamped marker scratch: bumping `generation` invalidates
+    // every stamp at once, so the array is never re-cleared between rows.
+    let mut marks: Vec<u64> = vec![0; b.ncols()];
+    let mut generation: u64 = 0;
     let mut mults: u128 = 0;
+    let mut output_nnz: u64 = 0;
     for m in 0..a.nrows() {
-        let row_a = a.row(m);
-        for &k in row_a.coords() {
-            mults += b.row_nnz(k as usize) as u128;
+        generation += 1;
+        for &k in a.row(m).coords() {
+            let (lo, hi) = (b_row_ptr[k as usize], b_row_ptr[k as usize + 1]);
+            mults += (hi - lo) as u128;
+            for &n in &b_cols[lo..hi] {
+                let mark = &mut marks[n as usize];
+                if *mark != generation {
+                    *mark = generation;
+                    output_nnz += 1;
+                }
+            }
         }
     }
-    Ok(WorkCounts {
-        mults,
-        output_nnz: z.nnz() as u64,
-    })
+    Ok(WorkCounts { mults, output_nnz })
 }
 
 /// Work counts for a sparse multiply.
@@ -105,6 +232,76 @@ pub fn approx_eq(a: &CsrMatrix, b: &CsrMatrix, tol: f64) -> bool {
     within(a, b) && within(b, a)
 }
 
+pub mod reference {
+    //! The seed's hash-accumulator kernels, retained verbatim as oracles
+    //! for property tests and before/after benchmarks.
+
+    use std::collections::HashMap;
+
+    use crate::{CooMatrix, CsrMatrix, TensorError};
+
+    /// Reference `Z = A·B`: Gustavson with a `HashMap` accumulator
+    /// (the seed implementation of `ops::spmspm`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `A.ncols != B.nrows`.
+    pub fn spmspm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix, TensorError> {
+        if a.ncols() != b.nrows() {
+            return Err(TensorError::ShapeMismatch {
+                left: (a.nrows(), a.ncols()),
+                right: (b.nrows(), b.ncols()),
+            });
+        }
+        let mut coo = CooMatrix::new(a.nrows(), b.ncols());
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for m in 0..a.nrows() {
+            acc.clear();
+            let row_a = a.row(m);
+            for (&k, &va) in row_a.coords().iter().zip(row_a.values()) {
+                let row_b = b.row(k as usize);
+                for (&n, &vb) in row_b.coords().iter().zip(row_b.values()) {
+                    *acc.entry(n).or_insert(0.0) += va * vb;
+                }
+            }
+            for (&n, &v) in &acc {
+                if v != 0.0 {
+                    coo.push(m, n as usize, v)
+                        .expect("accumulator coordinates are in bounds");
+                }
+            }
+        }
+        Ok(CsrMatrix::from_coo(&coo))
+    }
+
+    /// Reference `Z = A·Aᵀ` on the hash-accumulator kernel.
+    pub fn spmspm_a_at(a: &CsrMatrix) -> CsrMatrix {
+        let at = a.transpose();
+        spmspm(a, &at).expect("A and Aᵀ always have compatible shapes")
+    }
+
+    /// Reference work counts by materializing the full product
+    /// (the seed implementation of `ops::count_work`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `A.ncols != B.nrows`.
+    pub fn count_work(a: &CsrMatrix, b: &CsrMatrix) -> Result<super::WorkCounts, TensorError> {
+        let z = spmspm(a, b)?;
+        let mut mults: u128 = 0;
+        for m in 0..a.nrows() {
+            let row_a = a.row(m);
+            for &k in row_a.coords() {
+                mults += b.row_nnz(k as usize) as u128;
+            }
+        }
+        Ok(super::WorkCounts {
+            mults,
+            output_nnz: z.nnz() as u64,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,13 +323,25 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             4,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0), (2, 3, 0.5), (2, 0, 3.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, -1.0),
+                (2, 3, 0.5),
+                (2, 0, 3.0),
+            ],
         )
         .unwrap();
         let b = CsrMatrix::from_triplets(
             4,
             3,
-            &[(0, 0, 2.0), (1, 2, 4.0), (2, 1, -3.0), (3, 0, 1.0), (3, 2, 1.0)],
+            &[
+                (0, 0, 2.0),
+                (1, 2, 4.0),
+                (2, 1, -3.0),
+                (3, 0, 1.0),
+                (3, 2, 1.0),
+            ],
         )
         .unwrap();
         let z = spmspm(&a, &b).unwrap();
@@ -148,11 +357,73 @@ mod tests {
     }
 
     #[test]
+    fn spmspm_matches_hash_reference_bitwise() {
+        let a = crate::gen::GenSpec::power_law(300, 300, 3_000)
+            .seed(7)
+            .generate();
+        let z_spa = spmspm_a_at(&a);
+        let z_ref = reference::spmspm_a_at(&a);
+        assert_eq!(z_spa, z_ref, "SPA and hash kernels must agree bitwise");
+    }
+
+    #[test]
+    fn spmspm_into_reuses_scratch_across_shapes() {
+        let a = CsrMatrix::from_triplets(2, 5, &[(0, 4, 1.0), (1, 0, 2.0)]).unwrap();
+        let b = CsrMatrix::from_triplets(5, 3, &[(4, 2, 3.0), (0, 0, 1.0)]).unwrap();
+        let mut scratch = SpmspmScratch::new();
+        let z1 = spmspm_into(&a, &b, &mut scratch).unwrap();
+        assert_eq!(z1.get(0, 2), Some(3.0));
+        assert_eq!(z1.get(1, 0), Some(2.0));
+        assert_eq!(scratch.width(), 3);
+        // A wider multiply grows the scratch in place...
+        let wide = CsrMatrix::from_triplets(3, 9, &[(0, 8, 1.0), (2, 0, 2.0)]).unwrap();
+        let tall = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 4.0)]).unwrap();
+        let z2 = spmspm_into(&tall, &wide, &mut scratch).unwrap();
+        assert_eq!(scratch.width(), 9);
+        assert_eq!(z2.get(0, 8), Some(1.0));
+        assert_eq!(z2.get(1, 0), Some(8.0));
+        // ...and a narrower one reuses it untouched.
+        let z3 = spmspm_into(&a, &b, &mut scratch).unwrap();
+        assert_eq!(scratch.width(), 9);
+        assert_eq!(z3, z1);
+    }
+
+    #[test]
+    fn transient_cancellation_keeps_output_sorted_and_deduped() {
+        // Row 0 of A hits column 0 of Z through two paths that cancel
+        // exactly, then a third that revives it: the touched list sees
+        // column 0 twice, emission must still produce one sorted entry.
+        let a = CsrMatrix::from_triplets(1, 3, &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0)]).unwrap();
+        let b =
+            CsrMatrix::from_triplets(3, 2, &[(0, 0, 5.0), (1, 0, -5.0), (2, 0, 2.0), (2, 1, 1.0)])
+                .unwrap();
+        let z = spmspm(&a, &b).unwrap();
+        assert_eq!(z.nnz(), 2);
+        assert_eq!(z.get(0, 0), Some(2.0));
+        assert_eq!(z.get(0, 1), Some(1.0));
+        assert_eq!(z.row(0).coords(), &[0, 1]);
+    }
+
+    #[test]
+    fn exact_zero_outputs_are_dropped_like_reference() {
+        let a = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let b = CsrMatrix::from_triplets(2, 1, &[(0, 0, 3.0), (1, 0, -3.0)]).unwrap();
+        let z = spmspm(&a, &b).unwrap();
+        let z_ref = reference::spmspm(&a, &b).unwrap();
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z_ref.nnz(), 0);
+    }
+
+    #[test]
     fn spmspm_rejects_shape_mismatch() {
         let a = CsrMatrix::new(2, 3);
         let b = CsrMatrix::new(2, 3);
         assert!(matches!(
             spmspm(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            count_work(&a, &b),
             Err(TensorError::ShapeMismatch { .. })
         ));
     }
@@ -162,7 +433,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             4,
             4,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (3, 3, 4.0), (0, 3, -1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 0, 3.0),
+                (3, 3, 4.0),
+                (0, 3, -1.0),
+            ],
         )
         .unwrap();
         let z = spmspm_a_at(&a);
@@ -176,12 +453,29 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             5,
             5,
-            &[(0, 0, 1.0), (1, 0, 1.0), (2, 0, 1.0), (2, 3, 1.0), (4, 3, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (1, 0, 1.0),
+                (2, 0, 1.0),
+                (2, 3, 1.0),
+                (4, 3, 1.0),
+            ],
         )
         .unwrap();
         let at = a.transpose();
         let counts = count_work(&a, &at).unwrap();
         assert_eq!(counts.mults, a.profile().mults_a_at());
+    }
+
+    #[test]
+    fn count_work_matches_reference_on_random_input() {
+        let a = crate::gen::GenSpec::power_law(200, 200, 2_000)
+            .seed(5)
+            .generate();
+        let at = a.transpose();
+        let fast = count_work(&a, &at).unwrap();
+        let slow = reference::count_work(&a, &at).unwrap();
+        assert_eq!(fast, slow);
     }
 
     #[test]
@@ -199,5 +493,8 @@ mod tests {
         let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
         let z = spmspm(&a, &CsrMatrix::new(2, 2)).unwrap();
         assert_eq!(z.nnz(), 0);
+        let e = spmspm(&CsrMatrix::new(0, 0), &CsrMatrix::new(0, 0)).unwrap();
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.nrows(), 0);
     }
 }

@@ -178,7 +178,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 2, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 1, 1.0),
+                (2, 0, 1.0),
+                (2, 2, 1.0),
+            ],
         )
         .unwrap();
         let p = a.profile();
@@ -186,9 +192,7 @@ mod tests {
         assert_eq!(p.mults_a_at(), 9);
         // Count by brute force: for each k, (nnz in col k)^2.
         let t = a.transpose();
-        let brute: u128 = (0..a.ncols())
-            .map(|k| (t.row_nnz(k) as u128).pow(2))
-            .sum();
+        let brute: u128 = (0..a.ncols()).map(|k| (t.row_nnz(k) as u128).pow(2)).sum();
         assert_eq!(p.mults_a_at(), brute);
     }
 

@@ -59,7 +59,10 @@ pub fn summarize(occupancies: &[u64]) -> Option<OccupancySummary> {
 pub fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
     assert!(!sorted.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "slice must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "slice must be sorted"
+    );
     if q == 0.0 {
         return sorted[0];
     }

@@ -186,9 +186,7 @@ pub fn grid_tile_occupancies(m: &CsrMatrix, tile_rows: usize, tile_cols: usize) 
     assert!(tile_rows > 0 && tile_cols > 0, "tile dims must be positive");
     let br = m.nrows().div_ceil(tile_rows);
     let bc = m.ncols().div_ceil(tile_cols);
-    let n_blocks = br
-        .checked_mul(bc)
-        .expect("block-grid size overflows usize");
+    let n_blocks = br.checked_mul(bc).expect("block-grid size overflows usize");
     // Sparse accumulation: most blocks of a very sparse tensor are empty.
     let mut counts: HashMap<usize, u64> = HashMap::new();
     for (r, c, _) in m.iter() {
@@ -269,7 +267,13 @@ mod tests {
         let m = CsrMatrix::from_triplets(
             4,
             4,
-            &[(0, 0, 1.0), (0, 3, 1.0), (1, 1, 1.0), (3, 3, 1.0), (2, 2, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 3, 1.0),
+                (1, 1, 1.0),
+                (3, 3, 1.0),
+                (2, 2, 1.0),
+            ],
         )
         .unwrap();
         let occ = grid_tile_occupancies(&m, 2, 2);

@@ -3,15 +3,20 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
+use tailors_tensor::ops::{self, count_work, spmspm, spmspm_into, SpmspmScratch};
 use tailors_tensor::stats::{geomean, overbooking_quantile, quantile, summarize};
 use tailors_tensor::tiling::{grid_tile_occupancies, RowPanels};
 use tailors_tensor::{CooMatrix, CsrMatrix};
 
 fn triplets_strategy() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    proptest::collection::vec(
-        (0usize..24, 0usize..24, -10.0f64..10.0),
-        0..200,
-    )
+    proptest::collection::vec((0usize..24, 0usize..24, -10.0f64..10.0), 0..200)
+}
+
+/// Strictly positive values: no exact cancellation, so the structural
+/// output-nonzero count of the symbolic pass equals the reference's
+/// materialized count.
+fn positive_triplets_strategy() -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec((0usize..24, 0usize..24, 0.5f64..10.0), 0..200)
 }
 
 proptest! {
@@ -124,6 +129,63 @@ proptest! {
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(0.0f64, f64::max);
         prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+    }
+
+    /// The SPA multiply is bit-identical to the retained hash-accumulator
+    /// oracle on arbitrary operands (duplicates, negatives, empty rows).
+    #[test]
+    fn spa_spmspm_matches_hash_oracle(
+        ta in triplets_strategy(),
+        tb in triplets_strategy(),
+    ) {
+        let a = CsrMatrix::from_triplets(24, 24, &ta).unwrap();
+        let b = CsrMatrix::from_triplets(24, 24, &tb).unwrap();
+        let fast = spmspm(&a, &b).unwrap();
+        let oracle = ops::reference::spmspm(&a, &b).unwrap();
+        prop_assert_eq!(&fast, &oracle);
+        // Scratch reuse changes nothing.
+        let mut scratch = SpmspmScratch::new();
+        prop_assert_eq!(&spmspm_into(&a, &b, &mut scratch).unwrap(), &oracle);
+        prop_assert_eq!(&spmspm_into(&a, &b, &mut scratch).unwrap(), &oracle);
+    }
+
+    /// The symbolic work counter agrees with the materializing oracle
+    /// whenever values cannot cancel.
+    #[test]
+    fn symbolic_count_work_matches_oracle(
+        ta in positive_triplets_strategy(),
+        tb in positive_triplets_strategy(),
+    ) {
+        let a = CsrMatrix::from_triplets(24, 24, &ta).unwrap();
+        let b = CsrMatrix::from_triplets(24, 24, &tb).unwrap();
+        let fast = count_work(&a, &b).unwrap();
+        let oracle = ops::reference::count_work(&a, &b).unwrap();
+        prop_assert_eq!(fast, oracle);
+    }
+
+    /// The tile column-pointer view agrees with per-element binary search
+    /// at every width, on every row.
+    #[test]
+    fn tile_col_ptr_matches_binary_search(
+        triplets in triplets_strategy(),
+        tile_cols in 1usize..30,
+    ) {
+        let m = CsrMatrix::from_triplets(24, 24, &triplets).unwrap();
+        let view = m.tile_col_ptr(tile_cols);
+        prop_assert_eq!(view.n_tiles(), 24usize.div_ceil(tile_cols));
+        for r in 0..24 {
+            let (lo, hi) = (m.row_ptr()[r], m.row_ptr()[r + 1]);
+            let coords = &m.col_indices()[lo..hi];
+            for t in 0..view.n_tiles() {
+                let n0 = (t * tile_cols) as u32;
+                let n1 = ((t + 1) * tile_cols).min(24) as u32;
+                let want = (
+                    lo + coords.partition_point(|&c| c < n0),
+                    lo + coords.partition_point(|&c| c < n1),
+                );
+                prop_assert_eq!(view.row_tile_range(r, t), want);
+            }
+        }
     }
 
     /// COO round-trips its pushes and CSR conversion never loses mass.

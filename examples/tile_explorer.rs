@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let capacity = arch.tile_capacity();
 
     let est = Swiftiles::new(SwiftilesConfig::new(y, 10)?).estimate(&profile, capacity);
-    println!("buffer capacity: {capacity} nonzeros; target y = {:.0}%", 100.0 * y);
+    println!(
+        "buffer capacity: {capacity} nonzeros; target y = {:.0}%",
+        100.0 * y
+    );
     println!(
         "T_initial = {} elements ({} rows/tile)",
         est.t_initial, est.rows_initial

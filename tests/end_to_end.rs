@@ -85,7 +85,11 @@ fn suite_smoke_all_variants() {
             assert!(m.energy_pj.is_finite() && m.energy_pj > 0.0, "{}", wl.name);
             assert!(m.dram.total >= m.dram.overbook_extra, "{}", wl.name);
         }
-        assert_eq!(p.reuse.overbooked_a_tiles, 0, "{}: P must never overbook", wl.name);
+        assert_eq!(
+            p.reuse.overbooked_a_tiles, 0,
+            "{}: P must never overbook",
+            wl.name
+        );
         // MACs are a property of the workload, not the tiling.
         assert_eq!(n.activity.macs, p.activity.macs, "{}", wl.name);
         assert_eq!(p.activity.macs, ob.activity.macs, "{}", wl.name);
