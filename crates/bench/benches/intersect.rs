@@ -5,14 +5,15 @@
 //! The `spmspm` group tracks the dense-scratch (SPA) rewrite against the
 //! retained seed kernels — `seed_hashmap_a_at_2k` and
 //! `seed_functional_engine_a_at_2k` are the before, everything else is the
-//! after. Run with `CRITERION_JSON=BENCH_spmspm.json cargo bench --bench
-//! intersect` to refresh the machine-readable trajectory file (schema in
+//! after. Run with `CRITERION_JSON=$PWD/BENCH_spmspm.json cargo bench --bench
+//! intersect` (absolute path: benches run from `crates/bench/`) to refresh
+//! the machine-readable trajectory file (schema in
 //! `DESIGN.md`).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use tailors_sim::functional::{reference_run, run, run_with_threads, FunctionalConfig};
-use tailors_sim::{ArchConfig, Variant};
+use tailors_sim::{ArchConfig, MemBudget, Variant};
 use tailors_tensor::gen::GenSpec;
 use tailors_tensor::ops::{self, count_work, spmspm_a_at, spmspm_into, SpmspmScratch};
 
@@ -28,6 +29,24 @@ fn bench_intersection(c: &mut Criterion) {
     });
     g.bench_function("dot_product_10k_x_10k", |bch| {
         bch.iter(|| black_box(fa.dot(&fb)))
+    });
+    g.finish();
+
+    // Asymmetric operands (ratio 500 ≫ GALLOP_RATIO): the adaptive
+    // dispatch gallops; the `_linear` row is the scalar baseline it
+    // replaces on this shape.
+    let small = GenSpec::uniform(1, 100_000, 200).seed(5).generate();
+    let fs = small.row(0);
+    let mut g = c.benchmark_group("fiber_intersection_asymmetric");
+    g.throughput(Throughput::Elements((fs.len() + fb.len()) as u64));
+    g.bench_function("two_finger_200_x_10k", |bch| {
+        bch.iter(|| black_box(fs.intersect_counted_linear(&fb)))
+    });
+    g.bench_function("galloping_200_x_10k", |bch| {
+        bch.iter(|| black_box(fs.intersect_counted(&fb)))
+    });
+    g.bench_function("galloping_10k_x_200", |bch| {
+        bch.iter(|| black_box(fb.intersect_counted(&fs)))
     });
     g.finish();
 }
@@ -61,6 +80,7 @@ fn bench_spmspm(c: &mut Criterion) {
         rows_a: 256,
         cols_b: 256,
         overbooking: true,
+        mem_budget: MemBudget::Unbounded,
     };
     // Before: the seed engine (tile materialization + per-element searches
     // + HashMap output accumulator).

@@ -1,0 +1,187 @@
+//! Wide-matrix smoke for the memory-governed functional engine: runs the
+//! budgeted `Z = A·Aᵀ` dataflow on a matrix far wider than the unbudgeted
+//! scratch could handle, and (optionally) proves the output bit-identical
+//! to the retained seed engine.
+//!
+//! Usage: `cargo run --release -p tailors-bench --bin functional_smoke --
+//! [--cols N] [--nnz N] [--rows-a N] [--cols-b N] [--auto-tile]
+//! [--mem-budget SPEC] [--threads N] [--verify]`
+//!
+//! `--auto-tile` replaces the explicit `--rows-a`/`--cols-b` tiling with
+//! the one a Swiftiles-governed strategy picks for the paper architecture
+//! (`ExecutionPlan::from_strategy` over `TilingStrategy::Overbooked`),
+//! i.e. the same planning path the hardware variants use.
+//!
+//! Defaults reproduce the CI acceptance point: a 50 000-column power-law
+//! tensor under a 256 MiB per-thread scratch budget. Unbudgeted, one
+//! 4096-row panel over 50 k columns would need ~1.6 GiB of scratch per
+//! thread; the execution plan blocks it into 8192-column strips instead.
+//! `--mem-budget` falls back to `TAILORS_MEM_BUDGET` (so `run_all
+//! --mem-budget` reaches this binary too), then to 256 MiB.
+
+use std::time::Instant;
+
+use tailors_bench::threads_from_env;
+use tailors_core::swiftiles::SwiftilesConfig;
+use tailors_core::TilingStrategy;
+use tailors_sim::functional::{reference_run, run_with_threads, FunctionalConfig};
+use tailors_sim::{ArchConfig, ExecutionPlan, MemBudget};
+use tailors_tensor::gen::GenSpec;
+
+fn main() {
+    let mut cols = 50_000usize;
+    let mut nnz: Option<usize> = None;
+    let mut rows_a = 4_096usize;
+    let mut cols_b = 2_048usize;
+    let mut auto_tile = false;
+    let mut budget: Option<MemBudget> = None;
+    let mut threads: Option<usize> = None;
+    let mut verify = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--cols" => cols = next("--cols").parse().expect("--cols: positive integer"),
+            "--nnz" => nnz = Some(next("--nnz").parse().expect("--nnz: positive integer")),
+            "--rows-a" => {
+                rows_a = next("--rows-a")
+                    .parse()
+                    .expect("--rows-a: positive integer")
+            }
+            "--cols-b" => {
+                cols_b = next("--cols-b")
+                    .parse()
+                    .expect("--cols-b: positive integer")
+            }
+            "--auto-tile" => auto_tile = true,
+            "--mem-budget" => {
+                budget = Some(MemBudget::parse(&next("--mem-budget")).expect("--mem-budget"))
+            }
+            "--threads" => {
+                threads = Some(
+                    next("--threads")
+                        .parse()
+                        .expect("--threads: positive integer"),
+                )
+            }
+            "--verify" => verify = true,
+            other => panic!("unknown argument {other:?}; see the module docs"),
+        }
+    }
+    let nnz = nnz.unwrap_or(cols.saturating_mul(6));
+    let budget = budget.unwrap_or_else(|| match std::env::var("TAILORS_MEM_BUDGET") {
+        Ok(s) => MemBudget::parse(&s).expect("TAILORS_MEM_BUDGET"),
+        Err(_) => MemBudget::mib(256),
+    });
+    let threads = threads.unwrap_or_else(threads_from_env);
+
+    println!("generating {cols} x {cols} power-law tensor, target nnz {nnz} ...");
+    let t0 = Instant::now();
+    let a = GenSpec::power_law(cols, cols, nnz).seed(50).generate();
+    println!("  generated nnz {} in {:.2?}", a.nnz(), t0.elapsed());
+
+    if auto_tile {
+        // Let the paper's Swiftiles-governed strategy pick the tile grid
+        // against the ExTensor architecture, then keep the same budget.
+        let strategy = TilingStrategy::Overbooked(
+            SwiftilesConfig::new(0.10, 10).expect("paper operating point"),
+        );
+        let auto =
+            ExecutionPlan::from_strategy(&a.profile(), &ArchConfig::extensor(), &strategy, budget);
+        rows_a = auto.rows_a();
+        cols_b = auto.cols_b();
+        println!("auto-tile: strategy chose {rows_a}-row panels x {cols_b}-col tiles");
+    }
+
+    let config = FunctionalConfig {
+        capacity: (a.nnz() / 8).max(8),
+        fifo_region: (a.nnz() / 32).max(1),
+        rows_a,
+        cols_b,
+        overbooking: true,
+        mem_budget: budget,
+    };
+    let plan = config.execution_plan(a.nrows(), a.ncols());
+    let stats = plan.scratch_stats();
+    println!(
+        "plan: {} row panels x {} col blocks = {} work units ({} tiles of {} cols per block)",
+        plan.n_row_panels(),
+        stats.col_blocks,
+        plan.units().count(),
+        plan.block_tiles(),
+        config.cols_b,
+    );
+    // Streamed-operand balance across the plan's column blocks, each
+    // block occupancy an O(1)-per-row span over the tile-pointer view.
+    let b = a.transpose();
+    let view = b.tile_col_ptr(config.cols_b);
+    let block_occ: Vec<u64> = (0..plan.n_col_blocks())
+        .map(|bi| {
+            let (_, tiles) = plan.block_extent(bi);
+            (0..b.nrows())
+                .map(|r| {
+                    let (lo, hi) = view.row_tile_span(r, tiles.start, tiles.end);
+                    (hi - lo) as u64
+                })
+                .sum()
+        })
+        .collect();
+    println!(
+        "streamed occupancy per block: min {} / max {} (sum {})",
+        block_occ.iter().min().unwrap_or(&0),
+        block_occ.iter().max().unwrap_or(&0),
+        block_occ.iter().sum::<u64>(),
+    );
+    assert_eq!(
+        block_occ.iter().sum::<u64>(),
+        a.nnz() as u64,
+        "column blocks must partition the streamed operand"
+    );
+    println!(
+        "scratch: {:.1} MiB/thread under budget {} (fits: {})",
+        stats.bytes_per_thread as f64 / (1024.0 * 1024.0),
+        budget,
+        stats.fits_budget,
+    );
+    if auto_tile {
+        // A strategy-chosen grid may have single tiles wider than the
+        // budget; the planner clamps to one tile per block and says so.
+        if !stats.fits_budget {
+            println!(
+                "note: single-tile blocks exceed the budget (plan clamped to the minimum unit)"
+            );
+        }
+    } else {
+        assert!(
+            stats.fits_budget,
+            "smoke point must honour its budget; widen --mem-budget or shrink --rows-a"
+        );
+    }
+
+    let t1 = Instant::now();
+    let result = run_with_threads(&a, &config, threads).expect("budgeted functional run");
+    println!(
+        "budgeted run ({threads} threads): {:.2?}, z nnz {}, dram A {} / B {}, overbooked tiles {}",
+        t1.elapsed(),
+        result.z.nnz(),
+        result.dram_a_fetches,
+        result.dram_b_fetches,
+        result.overbooked_a_tiles,
+    );
+
+    if verify {
+        let t2 = Instant::now();
+        let oracle = reference_run(&a, &config).expect("seed engine run");
+        println!("seed engine: {:.2?}", t2.elapsed());
+        assert_eq!(result.z, oracle.z, "output must be bit-identical");
+        assert_eq!(result.dram_a_fetches, oracle.dram_a_fetches);
+        assert_eq!(result.dram_b_fetches, oracle.dram_b_fetches);
+        assert_eq!(result.overbooked_a_tiles, oracle.overbooked_a_tiles);
+        println!("verify: bit-identical to reference_run");
+    }
+    println!("OK");
+}

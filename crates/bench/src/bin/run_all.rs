@@ -1,19 +1,33 @@
 //! Runs every figure/table reproduction in sequence (the full evaluation).
 //!
-//! Usage: `cargo run --release -p tailors-bench --bin run_all [scale] [--threads N]`
+//! Usage: `cargo run --release -p tailors-bench --bin run_all --
+//! [scale] [--threads N] [--mem-budget SPEC] [--no-gen-cache]`
 //!
 //! At `scale = 1.0` (default) the workloads are generated at the paper's
 //! full dimensions; expect a few minutes, dominated by tensor generation.
 //! `--threads N` pins the suite's worker threads in every child binary
 //! (`--threads 1` is the fully serial, deterministic path); without it the
 //! children use all available cores.
+//!
+//! `--mem-budget SPEC` (e.g. `256MiB`, `1G`, `unbounded`) forwards a
+//! per-thread scratch budget to every child via `TAILORS_MEM_BUDGET`; the
+//! suite records the induced execution plans in its metrics, and the
+//! functional smoke honours it directly.
+//!
+//! Generated tensors are memoized on disk across the child binaries
+//! (`TAILORS_GEN_CACHE`, defaulting to `target/gen-cache`) so the ten
+//! children stop regenerating ten identical copies of the suite;
+//! `--no-gen-cache` disables the disk layer.
 
 use std::process::Command;
 
 fn main() {
     let mut scale: Option<String> = None;
     let mut threads: Option<String> = None;
+    let mut mem_budget: Option<String> = None;
+    let mut gen_cache = true;
     let mut args = std::env::args().skip(1);
+    const USAGE: &str = "usage: run_all [scale] [--threads N] [--mem-budget SPEC] [--no-gen-cache]";
     while let Some(arg) = args.next() {
         if arg == "--threads" {
             let n = args.next().expect("--threads requires a value");
@@ -22,15 +36,26 @@ fn main() {
                 "--threads must be a positive integer, got {n:?}"
             );
             threads = Some(n);
+        } else if arg == "--mem-budget" {
+            let spec = args.next().expect("--mem-budget requires a value");
+            // Fail fast here rather than in every child.
+            if let Err(e) = tailors_sim::MemBudget::parse(&spec) {
+                panic!("--mem-budget: {e}");
+            }
+            mem_budget = Some(spec);
+        } else if arg == "--no-gen-cache" {
+            gen_cache = false;
         } else if arg.starts_with('-') {
-            panic!("unknown flag {arg:?}; usage: run_all [scale] [--threads N]");
+            panic!("unknown flag {arg:?}; {USAGE}");
         } else if scale.is_none() {
             scale = Some(arg);
         } else {
-            panic!("unexpected extra argument {arg:?}; usage: run_all [scale] [--threads N]");
+            panic!("unexpected extra argument {arg:?}; {USAGE}");
         }
     }
     let scale = scale.unwrap_or_else(|| "1.0".to_string());
+    let cache_dir =
+        std::env::var("TAILORS_GEN_CACHE").unwrap_or_else(|_| "target/gen-cache".to_string());
     let bins = [
         "table2", "fig1", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
     ];
@@ -47,6 +72,14 @@ fn main() {
         cmd.arg(&scale);
         if let Some(t) = &threads {
             cmd.env("TAILORS_THREADS", t);
+        }
+        if let Some(b) = &mem_budget {
+            cmd.env("TAILORS_MEM_BUDGET", b);
+        }
+        if gen_cache {
+            cmd.env("TAILORS_GEN_CACHE", &cache_dir);
+        } else {
+            cmd.env_remove("TAILORS_GEN_CACHE");
         }
         let status = cmd.status();
         match status {

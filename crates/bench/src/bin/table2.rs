@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p tailors-bench --bin table2 [scale]`
 
-use tailors_bench::{fmt_count, rule, scale_from_args};
+use tailors_bench::{fmt_count, generate_cached, rule, scale_from_args};
 
 fn main() {
     let scale = scale_from_args();
@@ -17,7 +17,7 @@ fn main() {
     rule(92);
     for wl in tailors_workloads::suite() {
         let scaled = wl.scaled(scale);
-        let m = scaled.generate();
+        let m = generate_cached(&scaled);
         println!(
             "{:<20} {:>6}x{:<7} {:>12} {:>12} {:>11.5}% {:>11.5}%",
             wl.name,

@@ -6,14 +6,24 @@
 //! (default `1.0` = paper scale; use e.g. `0.03125` for a quick pass).
 //! Architecture capacities are scaled by the same factor so tensor-to-
 //! buffer ratios — and hence the evaluation's shape — are preserved.
+//!
+//! Cross-cutting environment knobs (all forwarded by `run_all` flags):
+//! `TAILORS_THREADS` pins suite worker threads, `TAILORS_MEM_BUDGET`
+//! bounds per-thread scratch via the execution planner (see
+//! [`mem_budget_from_env`]), and `TAILORS_GEN_CACHE` names the on-disk
+//! tensor-generation cache directory (see [`generate_cached`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod gencache;
+
 use rayon::prelude::*;
-use tailors_sim::{ArchConfig, RunMetrics, Variant};
+use tailors_sim::{ArchConfig, MemBudget, RunMetrics, Variant};
 use tailors_tensor::MatrixProfile;
 use tailors_workloads::Workload;
+
+pub use gencache::{generate_cached, profile_cached};
 
 /// Results of running all three variants on one workload.
 #[derive(Debug, Clone)]
@@ -92,15 +102,33 @@ pub fn threads_from_env() -> usize {
     }
 }
 
+/// The per-thread scratch budget for memory-governed runs: the
+/// `TAILORS_MEM_BUDGET` environment variable when set (`run_all
+/// --mem-budget` forwards it to every child binary), otherwise unbounded.
+///
+/// # Panics
+///
+/// Panics if `TAILORS_MEM_BUDGET` is set but unparseable (see
+/// [`MemBudget::parse`]).
+pub fn mem_budget_from_env() -> MemBudget {
+    match std::env::var("TAILORS_MEM_BUDGET") {
+        Err(_) => MemBudget::Unbounded,
+        Ok(s) => MemBudget::parse(&s).unwrap_or_else(|e| panic!("TAILORS_MEM_BUDGET: {e}")),
+    }
+}
+
 /// The architecture used by every figure, scaled consistently.
 pub fn arch_at(scale: f64) -> ArchConfig {
     ArchConfig::extensor().scaled(scale)
 }
 
-/// Generates one workload at `scale` and returns its profile.
+/// Generates one workload at `scale` (through the generation caches — see
+/// [`generate_cached`] / [`profile_cached`]) and returns its profile. The
+/// full tensor is released as soon as the profile is extracted; repeated
+/// calls for the same workload and scale hit the strong profile cache.
 pub fn profile_at(workload: &Workload, scale: f64) -> (Workload, MatrixProfile) {
     let scaled = workload.scaled(scale);
-    let profile = scaled.generate().profile();
+    let profile = MatrixProfile::clone(&profile_cached(&scaled));
     (scaled, profile)
 }
 
@@ -120,11 +148,14 @@ pub fn simulate_suite(scale: f64) -> Vec<SuiteRun> {
 pub fn simulate_suite_with_threads(scale: f64, threads: usize) -> Vec<SuiteRun> {
     assert!(threads > 0, "thread count must be positive");
     let arch = arch_at(scale);
+    // The budget never changes hardware counts; it is recorded in each
+    // run's `scratch` stats so budget sweeps can report feasibility.
+    let budget = mem_budget_from_env();
     let one = |wl: Workload| {
         let (workload, profile) = profile_at(&wl, scale);
-        let n = Variant::ExTensorN.run(&profile, &arch);
-        let p = Variant::ExTensorP.run(&profile, &arch);
-        let ob = Variant::default_ob().run(&profile, &arch);
+        let n = Variant::ExTensorN.run_budgeted(&profile, &arch, budget);
+        let p = Variant::ExTensorP.run_budgeted(&profile, &arch, budget);
+        let ob = Variant::default_ob().run_budgeted(&profile, &arch, budget);
         SuiteRun {
             workload,
             profile,

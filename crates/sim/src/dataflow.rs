@@ -31,16 +31,38 @@ use tailors_tensor::MatrixProfile;
 
 use crate::arch::ArchConfig;
 use crate::energy::{ActivityCounts, EnergyModel};
+use crate::exec::{ExecutionPlan, MemBudget};
 use crate::metrics::{DramBreakdown, ReuseStats, RunMetrics};
 use crate::plan::TilePlan;
 
-/// Simulates one `Z = A·Aᵀ` run and returns its metrics.
+/// Simulates one `Z = A·Aᵀ` run and returns its metrics, with an
+/// unbounded software-scratch budget (see [`simulate_budgeted`]).
 ///
 /// # Panics
 ///
 /// Panics if the profile is not square (the suite workloads all are) or has
 /// no nonzeros.
 pub fn simulate(profile: &MatrixProfile, arch: &ArchConfig, plan: TilePlan) -> RunMetrics {
+    simulate_budgeted(profile, arch, plan, MemBudget::Unbounded)
+}
+
+/// [`simulate`] under a per-thread scratch [`MemBudget`].
+///
+/// The budget never changes the modeled hardware counts — it governs the
+/// *software* execution plan (how a functional replay of this tiling would
+/// block its dense scratch), which is derived here and recorded in
+/// [`RunMetrics::scratch`] so budget sweeps can report feasibility
+/// alongside performance.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_budgeted(
+    profile: &MatrixProfile,
+    arch: &ArchConfig,
+    plan: TilePlan,
+    budget: MemBudget,
+) -> RunMetrics {
     assert_eq!(
         profile.nrows(),
         profile.ncols(),
@@ -230,6 +252,8 @@ pub fn simulate(profile: &MatrixProfile, arch: &ArchConfig, plan: TilePlan) -> R
     };
 
     let energy = EnergyModel::for_arch(arch);
+    let scratch = ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &plan, budget)
+        .scratch_stats();
     RunMetrics {
         cycles,
         energy_pj: energy.total_pj(&counts),
@@ -237,6 +261,7 @@ pub fn simulate(profile: &MatrixProfile, arch: &ArchConfig, plan: TilePlan) -> R
         dram,
         reuse,
         plan,
+        scratch,
         bound_by: bound_name(dram_cycles, gb_cycles, isect_cycles, mac_cycles),
     }
 }

@@ -1,0 +1,501 @@
+//! The memory-governed execution planner: 2-D (row-panel × column-block)
+//! partitioning of the `Z = A·B` dataflow for the software engines.
+//!
+//! The hardware model sizes its tiles against on-chip buffer capacities
+//! (see [`crate::plan::TilePlan`] and [`crate::variants::Variant`]); the
+//! *software* functional engine has an analogous resource to govern — the
+//! dense SPA scratch each worker thread accumulates a row panel into. An
+//! unpartitioned panel scratch is `rows_a × ncols` doubles, which forbids
+//! functional runs past a few thousand columns. [`ExecutionPlan`] applies
+//! the paper's budget-governed discipline to that scratch: given a tiling
+//! (`rows_a × cols_b` tiles, chosen by a [`TilingStrategy`] or a
+//! [`Variant`](crate::variants::Variant) planner) and a [`MemBudget`], it
+//! groups the `cols_b`-wide streamed tiles into *column blocks* such that
+//! `rows_a × block_cols × 8` bytes fits the budget, and emits the
+//! resulting 2-D grid of [`PlanUnit`]s.
+//!
+//! Column blocks never change results: a block is a run of whole streamed
+//! tiles traversed in the same global order, every output coordinate is
+//! owned by exactly one block, and blocks of a panel are emitted in column
+//! order — so a budgeted run is bit-identical to the unbudgeted one (the
+//! property tests in `crates/sim/tests/functional_equivalence.rs` prove
+//! it), while the scratch shrinks from `rows_a × ncols` to
+//! `rows_a × block_cols`.
+//!
+//! The minimum schedulable unit is one streamed tile: a budget smaller
+//! than `rows_a × cols_b` doubles clamps to a single-tile block (reported
+//! by [`ExecutionPlan::fits_budget`]) rather than splitting a tile, which
+//! would change buffer-traversal counts.
+
+use tailors_core::TilingStrategy;
+use tailors_tensor::MatrixProfile;
+
+use crate::arch::ArchConfig;
+use crate::plan::TilePlan;
+
+/// Size of one dense-scratch slot (an `f64` accumulator).
+const SLOT_BYTES: u64 = core::mem::size_of::<f64>() as u64;
+
+/// A per-thread scratch-memory budget in bytes.
+///
+/// `Unbounded` reproduces the historical behaviour (one block spanning all
+/// columns). The bench layer parses this from `--mem-budget` /
+/// `TAILORS_MEM_BUDGET` via [`MemBudget::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemBudget {
+    /// No limit: the scratch spans every column of the output.
+    #[default]
+    Unbounded,
+    /// At most this many bytes of dense scratch per worker thread.
+    Bytes(u64),
+}
+
+impl MemBudget {
+    /// A budget of `n` bytes.
+    pub const fn bytes(n: u64) -> Self {
+        MemBudget::Bytes(n)
+    }
+
+    /// A budget of `n` binary megabytes.
+    pub const fn mib(n: u64) -> Self {
+        MemBudget::Bytes(n * 1024 * 1024)
+    }
+
+    /// The byte limit, or `None` when unbounded.
+    pub fn limit_bytes(&self) -> Option<u64> {
+        match self {
+            MemBudget::Unbounded => None,
+            MemBudget::Bytes(b) => Some(*b),
+        }
+    }
+
+    /// Parses a human-readable budget: `"unbounded"` / `"none"`, a plain
+    /// byte count (`"1048576"`), or a binary-suffixed size (`"512K"`,
+    /// `"256MiB"`, `"2G"`); suffixes are case-insensitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("unbounded") || t.eq_ignore_ascii_case("none") {
+            return Ok(MemBudget::Unbounded);
+        }
+        let lower = t.to_ascii_lowercase();
+        let (digits, multiplier) = if let Some(p) = lower
+            .strip_suffix("kib")
+            .or_else(|| lower.strip_suffix("kb"))
+            .or_else(|| lower.strip_suffix("k"))
+        {
+            (p, 1u64 << 10)
+        } else if let Some(p) = lower
+            .strip_suffix("mib")
+            .or_else(|| lower.strip_suffix("mb"))
+            .or_else(|| lower.strip_suffix("m"))
+        {
+            (p, 1u64 << 20)
+        } else if let Some(p) = lower
+            .strip_suffix("gib")
+            .or_else(|| lower.strip_suffix("gb"))
+            .or_else(|| lower.strip_suffix("g"))
+        {
+            (p, 1u64 << 30)
+        } else if let Some(p) = lower.strip_suffix("b") {
+            (p, 1u64)
+        } else {
+            (lower.as_str(), 1u64)
+        };
+        let n: u64 = digits.trim().parse().map_err(|_| {
+            format!("invalid memory budget {s:?} (try \"256MiB\" or \"unbounded\")")
+        })?;
+        n.checked_mul(multiplier)
+            .map(MemBudget::Bytes)
+            .ok_or_else(|| format!("memory budget {s:?} overflows u64 bytes"))
+    }
+}
+
+impl core::fmt::Display for MemBudget {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemBudget::Unbounded => write!(f, "unbounded"),
+            MemBudget::Bytes(b) if b % (1 << 20) == 0 && *b > 0 => {
+                write!(f, "{}MiB", b >> 20)
+            }
+            MemBudget::Bytes(b) => write!(f, "{b}B"),
+        }
+    }
+}
+
+/// One work unit of an [`ExecutionPlan`]: the intersection of a stationary
+/// row panel with a column block of the streamed operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanUnit {
+    /// Row-panel index (`0..n_row_panels`).
+    pub row_panel: usize,
+    /// Column-block index (`0..n_col_blocks`).
+    pub col_block: usize,
+    /// Output rows the unit accumulates into.
+    pub rows: core::ops::Range<usize>,
+    /// Output columns the unit owns.
+    pub cols: core::ops::Range<usize>,
+    /// Streamed-tile indices (`tj`) the unit traverses, in order.
+    pub tiles: core::ops::Range<usize>,
+}
+
+/// Scratch accounting derived from an [`ExecutionPlan`], recorded in
+/// [`RunMetrics`](crate::metrics::RunMetrics) so the bench layer can report
+/// how a budget shaped the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Column blocks per row panel.
+    pub col_blocks: usize,
+    /// Columns per (non-ragged) block.
+    pub block_cols: usize,
+    /// Dense-scratch bytes one worker thread allocates.
+    pub bytes_per_thread: u64,
+    /// Whether the scratch honours the budget (false only when the budget
+    /// is smaller than a single `rows × cols_b` tile, the minimum unit).
+    pub fits_budget: bool,
+}
+
+/// A memory-governed 2-D partitioning of one `Z = A·B` execution: row
+/// panels of the stationary operand × column blocks of the streamed one.
+///
+/// See the [module docs](self) for semantics. Construct via
+/// [`ExecutionPlan::new`] (explicit tiling),
+/// [`ExecutionPlan::for_tile_plan`] (from a hardware variant's
+/// [`TilePlan`]), or [`ExecutionPlan::from_strategy`] (let a Table-1
+/// [`TilingStrategy`] choose the tile shape first).
+///
+/// # Example
+///
+/// ```
+/// use tailors_sim::exec::{ExecutionPlan, MemBudget};
+///
+/// // 50k × 50k output, 4096-row panels, 2048-column streamed tiles,
+/// // 256 MiB of scratch per thread.
+/// let plan = ExecutionPlan::new(50_000, 50_000, 4_096, 2_048, MemBudget::mib(256));
+/// assert_eq!(plan.block_cols(), 8_192); // 4 tiles of 2048 columns
+/// assert!(plan.scratch_bytes() <= 256 << 20);
+/// assert_eq!(plan.n_col_blocks(), 7); // ceil(25 tiles / 4 tiles per block)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionPlan {
+    nrows: usize,
+    ncols: usize,
+    rows_a: usize,
+    cols_b: usize,
+    /// Streamed tiles per column block (≥ 1 whenever there are tiles).
+    block_tiles: usize,
+    budget: MemBudget,
+}
+
+impl ExecutionPlan {
+    /// Plans an `nrows × ncols` output tiled into `rows_a`-row stationary
+    /// panels and `cols_b`-column streamed tiles, grouping tiles into
+    /// column blocks so one panel's dense scratch fits `budget`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_a == 0` or `cols_b == 0`.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        rows_a: usize,
+        cols_b: usize,
+        budget: MemBudget,
+    ) -> ExecutionPlan {
+        assert!(rows_a > 0 && cols_b > 0, "tile dimensions must be positive");
+        let n_tiles = ncols.div_ceil(cols_b);
+        let block_tiles = match budget.limit_bytes() {
+            None => n_tiles.max(1),
+            Some(bytes) => {
+                let panel_rows = rows_a.min(nrows).max(1) as u64;
+                let scratch_cols = bytes / SLOT_BYTES / panel_rows;
+                let tiles = (scratch_cols / cols_b as u64).min(n_tiles.max(1) as u64) as usize;
+                tiles.max(1)
+            }
+        };
+        ExecutionPlan {
+            nrows,
+            ncols,
+            rows_a,
+            cols_b,
+            block_tiles,
+            budget,
+        }
+    }
+
+    /// Plans from a hardware [`TilePlan`]'s global-buffer tiling: `gb_rows_a`
+    /// stationary panels × `gb_cols_b` streamed tiles under `budget`.
+    pub fn for_tile_plan(
+        nrows: usize,
+        ncols: usize,
+        tile: &TilePlan,
+        budget: MemBudget,
+    ) -> ExecutionPlan {
+        ExecutionPlan::new(
+            nrows,
+            ncols,
+            tile.gb_rows_a.max(1),
+            tile.gb_cols_b.max(1),
+            budget,
+        )
+    }
+
+    /// Lets a Table-1 [`TilingStrategy`] choose the tile shape against the
+    /// architecture's working-tile capacity (as the hardware variants do),
+    /// then governs the scratch with `budget`.
+    ///
+    /// # Panics
+    ///
+    /// As [`TilingStrategy::choose`] (empty profile, zero capacity).
+    pub fn from_strategy(
+        profile: &MatrixProfile,
+        arch: &ArchConfig,
+        strategy: &TilingStrategy,
+        budget: MemBudget,
+    ) -> ExecutionPlan {
+        let choice = strategy.choose(profile, arch.tile_capacity());
+        let rows = choice.rows_per_tile.max(1);
+        ExecutionPlan::new(profile.nrows(), profile.ncols(), rows, rows, budget)
+    }
+
+    /// Rows of the stationary operand per panel.
+    pub fn rows_a(&self) -> usize {
+        self.rows_a
+    }
+
+    /// Columns of the streamed operand per tile.
+    pub fn cols_b(&self) -> usize {
+        self.cols_b
+    }
+
+    /// The governing budget.
+    pub fn budget(&self) -> MemBudget {
+        self.budget
+    }
+
+    /// Streamed tiles per column block.
+    pub fn block_tiles(&self) -> usize {
+        self.block_tiles
+    }
+
+    /// Number of stationary row panels.
+    pub fn n_row_panels(&self) -> usize {
+        self.nrows.div_ceil(self.rows_a)
+    }
+
+    /// Number of streamed column tiles.
+    pub fn n_col_tiles(&self) -> usize {
+        self.ncols.div_ceil(self.cols_b)
+    }
+
+    /// Number of column blocks per panel.
+    pub fn n_col_blocks(&self) -> usize {
+        self.n_col_tiles().div_ceil(self.block_tiles.max(1))
+    }
+
+    /// Columns spanned by the widest block (the last block may be ragged
+    /// and cover fewer).
+    pub fn block_cols(&self) -> usize {
+        (self.block_tiles * self.cols_b).min(self.ncols)
+    }
+
+    /// Dense-scratch slots one worker thread needs: full-panel rows × the
+    /// widest block.
+    pub fn scratch_elems(&self) -> u64 {
+        let panel_rows = self.rows_a.min(self.nrows).max(1) as u64;
+        panel_rows * self.block_cols() as u64
+    }
+
+    /// Dense-scratch bytes one worker thread needs.
+    pub fn scratch_bytes(&self) -> u64 {
+        self.scratch_elems() * SLOT_BYTES
+    }
+
+    /// Whether the scratch honours the budget. `false` only when the budget
+    /// is smaller than one `rows_a × cols_b` tile — the minimum schedulable
+    /// unit — and the plan clamped to it.
+    pub fn fits_budget(&self) -> bool {
+        match self.budget.limit_bytes() {
+            None => true,
+            Some(bytes) => self.scratch_bytes() <= bytes,
+        }
+    }
+
+    /// The scratch accounting summary recorded in run metrics.
+    pub fn scratch_stats(&self) -> ScratchStats {
+        ScratchStats {
+            col_blocks: self.n_col_blocks(),
+            block_cols: self.block_cols(),
+            bytes_per_thread: self.scratch_bytes(),
+            fits_budget: self.fits_budget(),
+        }
+    }
+
+    /// Row range of stationary panel `pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi >= self.n_row_panels()`.
+    pub fn panel_rows(&self, pi: usize) -> core::ops::Range<usize> {
+        assert!(pi < self.n_row_panels(), "row-panel index out of range");
+        let lo = pi * self.rows_a;
+        lo..(lo + self.rows_a).min(self.nrows)
+    }
+
+    /// Column and streamed-tile ranges of column block `bi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bi >= self.n_col_blocks()`.
+    pub fn block_extent(&self, bi: usize) -> (core::ops::Range<usize>, core::ops::Range<usize>) {
+        assert!(bi < self.n_col_blocks(), "column-block index out of range");
+        let t0 = bi * self.block_tiles;
+        let t1 = (t0 + self.block_tiles).min(self.n_col_tiles());
+        let c0 = t0 * self.cols_b;
+        let c1 = (t1 * self.cols_b).min(self.ncols);
+        (c0..c1, t0..t1)
+    }
+
+    /// The [`PlanUnit`] at (`pi`, `bi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn unit(&self, pi: usize, bi: usize) -> PlanUnit {
+        let (cols, tiles) = self.block_extent(bi);
+        PlanUnit {
+            row_panel: pi,
+            col_block: bi,
+            rows: self.panel_rows(pi),
+            cols,
+            tiles,
+        }
+    }
+
+    /// Iterates the column blocks of one panel, in column order.
+    pub fn panel_units(&self, pi: usize) -> impl Iterator<Item = PlanUnit> + '_ {
+        (0..self.n_col_blocks()).map(move |bi| self.unit(pi, bi))
+    }
+
+    /// Iterates the whole 2-D grid in (panel, block) row-major order.
+    pub fn units(&self) -> impl Iterator<Item = PlanUnit> + '_ {
+        (0..self.n_row_panels()).flat_map(move |pi| self.panel_units(pi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_common_spellings() {
+        assert_eq!(MemBudget::parse("unbounded"), Ok(MemBudget::Unbounded));
+        assert_eq!(MemBudget::parse("NONE"), Ok(MemBudget::Unbounded));
+        assert_eq!(MemBudget::parse("1024"), Ok(MemBudget::Bytes(1024)));
+        assert_eq!(MemBudget::parse("512b"), Ok(MemBudget::Bytes(512)));
+        assert_eq!(MemBudget::parse("4K"), Ok(MemBudget::Bytes(4096)));
+        assert_eq!(MemBudget::parse("256MiB"), Ok(MemBudget::mib(256)));
+        assert_eq!(MemBudget::parse(" 2g "), Ok(MemBudget::Bytes(2 << 30)));
+        assert!(MemBudget::parse("lots").is_err());
+        assert!(MemBudget::parse("12.5M").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_the_common_cases() {
+        assert_eq!(MemBudget::Unbounded.to_string(), "unbounded");
+        assert_eq!(MemBudget::mib(256).to_string(), "256MiB");
+        assert_eq!(MemBudget::bytes(100).to_string(), "100B");
+    }
+
+    #[test]
+    fn unbounded_plan_is_one_block_spanning_all_columns() {
+        let p = ExecutionPlan::new(1_000, 7_777, 128, 64, MemBudget::Unbounded);
+        assert_eq!(p.n_col_blocks(), 1);
+        let (cols, tiles) = p.block_extent(0);
+        assert_eq!(cols, 0..7_777);
+        assert_eq!(tiles, 0..p.n_col_tiles());
+        assert!(p.fits_budget());
+    }
+
+    #[test]
+    fn budget_shrinks_blocks_and_is_honoured() {
+        // 128-row panels, 64-col tiles, 64 KiB budget: 65536/8/128 = 64
+        // scratch columns = exactly one tile per block.
+        let p = ExecutionPlan::new(1_000, 1_000, 128, 64, MemBudget::bytes(64 << 10));
+        assert_eq!(p.block_tiles(), 1);
+        assert_eq!(p.block_cols(), 64);
+        assert!(p.fits_budget());
+        assert_eq!(p.scratch_bytes(), 128 * 64 * 8);
+        // Double the budget: two tiles per block.
+        let p2 = ExecutionPlan::new(1_000, 1_000, 128, 64, MemBudget::bytes(128 << 10));
+        assert_eq!(p2.block_tiles(), 2);
+        assert!(p2.fits_budget());
+    }
+
+    #[test]
+    fn sub_tile_budget_clamps_to_one_tile_and_reports_it() {
+        let p = ExecutionPlan::new(1_000, 1_000, 128, 64, MemBudget::bytes(1));
+        assert_eq!(p.block_tiles(), 1);
+        assert!(!p.fits_budget());
+        assert!(!p.scratch_stats().fits_budget);
+    }
+
+    #[test]
+    fn units_tile_the_grid_exactly() {
+        let p = ExecutionPlan::new(100, 90, 32, 16, MemBudget::bytes(32 * 16 * 2 * 8));
+        assert_eq!(p.block_tiles(), 2);
+        assert_eq!(p.n_row_panels(), 4);
+        assert_eq!(p.n_col_tiles(), 6);
+        assert_eq!(p.n_col_blocks(), 3);
+        let units: Vec<_> = p.units().collect();
+        assert_eq!(units.len(), 12);
+        // Rows partition [0, 100), columns partition [0, 90) per panel.
+        for pi in 0..4 {
+            let row_units: Vec<_> = units.iter().filter(|u| u.row_panel == pi).collect();
+            assert_eq!(row_units.first().unwrap().cols.start, 0);
+            assert_eq!(row_units.last().unwrap().cols.end, 90);
+            for w in row_units.windows(2) {
+                assert_eq!(w[0].cols.end, w[1].cols.start);
+                assert_eq!(w[0].tiles.end, w[1].tiles.start);
+            }
+        }
+        assert_eq!(units[11].rows, 96..100);
+        assert_eq!(units[11].cols, 64..90);
+        assert_eq!(units[11].tiles, 4..6);
+    }
+
+    #[test]
+    fn ragged_edges_are_clamped() {
+        let p = ExecutionPlan::new(10, 10, 64, 64, MemBudget::Unbounded);
+        assert_eq!(p.n_row_panels(), 1);
+        assert_eq!(p.n_col_blocks(), 1);
+        assert_eq!(p.panel_rows(0), 0..10);
+        assert_eq!(p.block_extent(0).0, 0..10);
+        // Scratch accounts the clamped extents, not the nominal tile.
+        assert_eq!(p.scratch_elems(), 100);
+    }
+
+    #[test]
+    fn zero_width_output_has_no_blocks() {
+        let p = ExecutionPlan::new(0, 0, 4, 4, MemBudget::mib(1));
+        assert_eq!(p.n_row_panels(), 0);
+        assert_eq!(p.n_col_tiles(), 0);
+        assert_eq!(p.n_col_blocks(), 0);
+        assert_eq!(p.units().count(), 0);
+    }
+
+    #[test]
+    fn wide_smoke_shape_matches_issue_arithmetic() {
+        // The CI wide-matrix smoke: 50k columns, 4096-row panels, 2048-col
+        // tiles, 256 MiB → 4 tiles (8192 columns) per block, 7 blocks.
+        let p = ExecutionPlan::new(50_000, 50_000, 4_096, 2_048, MemBudget::mib(256));
+        assert_eq!(p.block_tiles(), 4);
+        assert_eq!(p.block_cols(), 8_192);
+        assert_eq!(p.n_col_blocks(), 7);
+        assert_eq!(p.scratch_bytes(), 256 << 20);
+        assert!(p.fits_budget());
+    }
+}

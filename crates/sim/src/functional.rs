@@ -22,11 +22,26 @@
 //! through a precomputed [`TileColPtr`] column-pointer view instead of a
 //! per-element binary search, and accumulates into a dense per-panel
 //! scratch (the SPA formulation, matching `tailors_tensor::ops::spmspm`).
+//!
+//! # Memory governance
+//!
+//! The per-panel scratch is governed by an [`ExecutionPlan`]: under a
+//! finite [`MemBudget`] the panel's streamed tiles are grouped into
+//! *column blocks* and the scratch spans `rows_a × block_cols` instead of
+//! `rows_a × ncols`. A block is a run of whole B tiles traversed in the
+//! same global order through the same buffer driver, every output
+//! coordinate is owned by exactly one block, and a panel's blocks are
+//! extracted and merged in column order — so the budgeted run is
+//! bit-identical to the unbudgeted one in every reported field, and large
+//! column counts become feasible (the scratch no longer scales with
+//! `ncols`).
+//!
 //! Panel outputs are stitched in panel order, so results — including every
 //! floating-point accumulation order — are bit-identical for every thread
-//! count, and bit-identical to the retained seed engine
-//! [`reference_run`].
+//! count, every memory budget, and bit-identical to the retained seed
+//! engine [`reference_run`].
 
+use crate::exec::{ExecutionPlan, MemBudget};
 use tailors_eddo::{Buffet, EddoError, Tailor, TailorConfig};
 use tailors_tensor::{CooMatrix, CsrMatrix, TileColPtr};
 
@@ -44,6 +59,18 @@ pub struct FunctionalConfig {
     /// Whether the operand buffer is a Tailor (otherwise a plain buffet,
     /// which drops everything and refills when a tile does not fit).
     pub overbooking: bool,
+    /// Per-thread dense-scratch budget; the [`ExecutionPlan`] derived from
+    /// it groups streamed tiles into column blocks. Any budget yields
+    /// bit-identical results; it only bounds memory.
+    pub mem_budget: MemBudget,
+}
+
+impl FunctionalConfig {
+    /// The memory-governed execution plan this configuration induces on an
+    /// `nrows × ncols` output.
+    pub fn execution_plan(&self, nrows: usize, ncols: usize) -> ExecutionPlan {
+        ExecutionPlan::new(nrows, ncols, self.rows_a, self.cols_b, self.mem_budget)
+    }
 }
 
 /// Result of a functional run.
@@ -109,10 +136,10 @@ pub fn run_with_threads(
     assert!(threads > 0, "thread count must be positive");
     let b = a.transpose();
     let n = a.nrows();
-    let rows_a = config.rows_a;
     let cols_b = config.cols_b;
-    let n_a_tiles = n.div_ceil(rows_a);
-    let n_b_tiles = n.div_ceil(cols_b);
+    let plan = config.execution_plan(n, n);
+    let n_a_tiles = plan.n_row_panels();
+    let n_b_tiles = plan.n_col_tiles();
 
     // Streamed-operand traffic: every A tile streams all of B exactly once
     // (tile occupancies are row-pointer differences summing to nnz), so the
@@ -133,7 +160,7 @@ pub fn run_with_threads(
     };
 
     let panel = |ti: usize| -> Result<PanelOutput, EddoError> {
-        run_panel(a, &b, b_tiles.as_ref(), config, ti, n_b_tiles)
+        run_panel(a, &b, b_tiles.as_ref(), config, &plan, ti)
     };
 
     let panel_results: Vec<Result<PanelOutput, EddoError>> = if threads == 1 || n_a_tiles <= 1 {
@@ -186,7 +213,10 @@ struct PanelOutput {
     overbooked: bool,
 }
 
-/// Executes all B-tile traversals for stationary panel `ti`.
+/// Executes all B-tile traversals for stationary panel `ti`, one plan
+/// column block at a time (all blocks share the panel's buffer driver, so
+/// traversal order — and therefore every DRAM fetch count — is identical
+/// for every memory budget).
 ///
 /// `b_tiles == None` is the memory-guarded fallback: B-row × tile ranges
 /// are found by per-element binary search, as in the seed engine.
@@ -195,13 +225,12 @@ fn run_panel(
     b: &CsrMatrix,
     b_tiles: Option<&TileColPtr>,
     config: &FunctionalConfig,
+    plan: &ExecutionPlan,
     ti: usize,
-    n_b_tiles: usize,
 ) -> Result<PanelOutput, EddoError> {
     let n = a.nrows();
-    let rows_a = config.rows_a;
-    let m0 = ti * rows_a;
-    let m1 = ((ti + 1) * rows_a).min(n);
+    let rows = plan.panel_rows(ti);
+    let (m0, m1) = (rows.start, rows.end);
     let tile = PanelElems::new(a, m0, m1);
     let overbooked = tile.len() > config.capacity;
 
@@ -210,18 +239,21 @@ fn run_panel(
     let b_vals = b.values();
     let cols_b = config.cols_b;
 
-    // Dense SPA scratch spanning the panel's output rows: `(m - m0, nn)`
-    // accumulates at `dense[(m - m0) * n + nn]`. Touched coordinates are
-    // tracked per row so extraction stays proportional to the output. The
-    // scratch is thread-local and reused across panels and runs — it is
-    // zeroed once when a thread first (or ever wider) needs it, and every
-    // exit path below restores the all-zero invariant by clearing exactly
-    // the touched slots, so a sparse panel never pays an O(rows × n) wipe.
+    // Dense SPA scratch spanning the panel's output rows × one plan column
+    // block: `(m - m0, nn)` accumulates at
+    // `dense[(m - m0) * width + (nn - c0)]` for the block covering columns
+    // `[c0, c0 + width)`. Touched coordinates are tracked per row so
+    // extraction stays proportional to the output. The scratch is
+    // thread-local and reused across panels and runs — it is zeroed once
+    // when a thread first (or ever wider) needs it, and every exit path
+    // below restores the all-zero invariant by clearing exactly the
+    // touched slots, so a sparse panel never pays an O(rows × width) wipe.
     let panel_rows = m1 - m0;
+    let width = plan.block_cols();
     PANEL_SCRATCH.with(|scratch| {
         let (dense, touched) = &mut *scratch.borrow_mut();
-        if dense.len() < panel_rows * n {
-            dense.resize(panel_rows * n, 0.0);
+        if dense.len() < panel_rows * width {
+            dense.resize(panel_rows * width, 0.0);
         }
         debug_assert!(dense.iter().all(|&v| v == 0.0));
         for t in touched.iter_mut() {
@@ -232,59 +264,98 @@ fn run_panel(
         }
 
         let mut driver = TileDriver::new(tile, config)?;
-        for tj in 0..n_b_tiles {
-            let n0 = (tj * cols_b) as u32;
-            let n1 = ((tj + 1) * cols_b).min(n) as u32;
-            // Traverse the stationary tile once, intersecting each element
-            // against the B tile's column range.
-            let traversal = driver.traverse(|&(m, k, va)| {
-                let (lo, hi) = match b_tiles {
-                    Some(view) => view.row_tile_range(k as usize, tj),
-                    None => {
-                        let (rlo, rhi) = (b_row_ptr[k as usize], b_row_ptr[k as usize + 1]);
-                        let coords = &b_cols[rlo..rhi];
-                        let start = rlo + coords.partition_point(|&c| c < n0);
-                        let end = rlo + coords.partition_point(|&c| c < n1);
-                        (start, end)
-                    }
-                };
-                let local = (m as usize - m0) * n;
-                let row_touched = &mut touched[m as usize - m0];
-                for (&nn, &vb) in b_cols[lo..hi].iter().zip(&b_vals[lo..hi]) {
-                    let slot = &mut dense[local + nn as usize];
-                    if *slot == 0.0 {
-                        row_touched.push(nn);
-                    }
-                    *slot += va * vb;
-                }
-            });
-            if let Err(e) = traversal {
-                // Restore the all-zero invariant before propagating.
-                for (lr, row_touched) in touched.iter().enumerate().take(panel_rows) {
-                    for &nn in row_touched {
-                        dense[lr * n + nn as usize] = 0.0;
-                    }
-                }
-                return Err(e);
-            }
-        }
+        // Per-row staging across blocks. A single-block plan (the
+        // unbudgeted default) extracts rows directly into the flat output
+        // instead, skipping the staging copy on the historical hot path.
+        let multi_block = plan.n_col_blocks() > 1;
+        let mut staged: Vec<(Vec<u32>, Vec<f64>)> = if multi_block {
+            vec![Default::default(); panel_rows]
+        } else {
+            Vec::new()
+        };
 
         let mut row_lens = Vec::with_capacity(panel_rows);
         let mut cols: Vec<u32> = Vec::new();
         let mut vals: Vec<f64> = Vec::new();
-        for (lr, row_touched) in touched.iter_mut().take(panel_rows).enumerate() {
-            row_touched.sort_unstable();
-            let before = cols.len();
-            for &nn in row_touched.iter() {
-                // `take` doubles as the scratch reset: every touched slot
-                // (duplicates included) is zeroed exactly here.
-                let v = core::mem::take(&mut dense[lr * n + nn as usize]);
-                if v != 0.0 {
-                    cols.push(nn);
-                    vals.push(v);
+
+        for unit in plan.panel_units(ti) {
+            let c0 = unit.cols.start;
+            for tj in unit.tiles.clone() {
+                let n0 = (tj * cols_b) as u32;
+                let n1 = ((tj + 1) * cols_b).min(n) as u32;
+                // Traverse the stationary tile once, intersecting each
+                // element against the B tile's column range.
+                let traversal = driver.traverse(|&(m, k, va)| {
+                    let (lo, hi) = match b_tiles {
+                        Some(view) => view.row_tile_range(k as usize, tj),
+                        None => {
+                            let (rlo, rhi) = (b_row_ptr[k as usize], b_row_ptr[k as usize + 1]);
+                            let coords = &b_cols[rlo..rhi];
+                            let start = rlo + coords.partition_point(|&c| c < n0);
+                            let end = rlo + coords.partition_point(|&c| c < n1);
+                            (start, end)
+                        }
+                    };
+                    let local = (m as usize - m0) * width;
+                    let row_touched = &mut touched[m as usize - m0];
+                    for (&nn, &vb) in b_cols[lo..hi].iter().zip(&b_vals[lo..hi]) {
+                        let slot = &mut dense[local + (nn as usize - c0)];
+                        if *slot == 0.0 {
+                            row_touched.push(nn);
+                        }
+                        *slot += va * vb;
+                    }
+                });
+                if let Err(e) = traversal {
+                    // Restore the all-zero invariant before propagating
+                    // (only the current block's slots can be live; earlier
+                    // blocks were zeroed at extraction).
+                    for (lr, row_touched) in touched.iter().enumerate().take(panel_rows) {
+                        for &nn in row_touched {
+                            dense[lr * width + (nn as usize - c0)] = 0.0;
+                        }
+                    }
+                    return Err(e);
                 }
             }
-            row_lens.push(cols.len() - before);
+
+            // Extract this block in row order and reset its slots; blocks
+            // own disjoint column ranges and run left to right, so per-row
+            // concatenation preserves sorted column order.
+            for (lr, row_touched) in touched.iter_mut().take(panel_rows).enumerate() {
+                row_touched.sort_unstable();
+                if multi_block {
+                    let (row_cols, row_vals) = &mut staged[lr];
+                    for &nn in row_touched.iter() {
+                        // `take` doubles as the scratch reset: every touched
+                        // slot (duplicates included) is zeroed exactly here.
+                        let v = core::mem::take(&mut dense[lr * width + (nn as usize - c0)]);
+                        if v != 0.0 {
+                            row_cols.push(nn);
+                            row_vals.push(v);
+                        }
+                    }
+                } else {
+                    let before = cols.len();
+                    for &nn in row_touched.iter() {
+                        let v = core::mem::take(&mut dense[lr * width + (nn as usize - c0)]);
+                        if v != 0.0 {
+                            cols.push(nn);
+                            vals.push(v);
+                        }
+                    }
+                    row_lens.push(cols.len() - before);
+                }
+                row_touched.clear();
+            }
+        }
+
+        if multi_block {
+            for (row_cols, row_vals) in staged {
+                row_lens.push(row_cols.len());
+                cols.extend_from_slice(&row_cols);
+                vals.extend_from_slice(&row_vals);
+            }
         }
 
         Ok(PanelOutput {
@@ -340,7 +411,7 @@ impl<'a> PanelElems<'a> {
             cursor: core::cell::Cell::new(0),
             m0,
             base: rp[m0],
-            len: rp[m1] - rp[m0],
+            len: a.row_range_nnz(m0, m1),
         }
     }
 }
@@ -499,9 +570,11 @@ impl<S: TileSource> TileDriver<S> {
 /// The seed engine, retained verbatim as the oracle for the rewritten
 /// [`run`]: materializes each stationary tile as a coordinate list,
 /// re-searches each B row per element, and accumulates into a hash map.
+/// `mem_budget` is ignored — the oracle always uses the unpartitioned
+/// global accumulator.
 ///
 /// Property tests assert [`run`] is bit-identical to this on arbitrary
-/// inputs; benchmarks measure the gap.
+/// inputs and budgets; benchmarks measure the gap.
 ///
 /// # Errors
 ///
@@ -609,6 +682,7 @@ mod tests {
             rows_a: 16,
             cols_b: 16,
             overbooking: true,
+            mem_budget: MemBudget::Unbounded,
         };
         let result = run(&a, &config).unwrap();
         let reference = spmspm_a_at(&a);
@@ -631,6 +705,7 @@ mod tests {
             rows_a: 16,
             cols_b: 16,
             overbooking: false,
+            mem_budget: MemBudget::Unbounded,
         };
         let result = run(&a, &config).unwrap();
         assert!(approx_eq(&result.z, &spmspm_a_at(&a), 1e-9));
@@ -650,6 +725,7 @@ mod tests {
                     rows_a,
                     cols_b,
                     overbooking,
+                    mem_budget: MemBudget::Unbounded,
                 };
                 let new = run(&a, &config).unwrap();
                 let old = reference_run(&a, &config).unwrap();
@@ -665,6 +741,53 @@ mod tests {
     }
 
     #[test]
+    fn memory_budget_is_bit_identical_to_unbudgeted() {
+        let a = small();
+        for overbooking in [false, true] {
+            let base = FunctionalConfig {
+                capacity: 40,
+                fifo_region: 8,
+                rows_a: 16,
+                cols_b: 8,
+                overbooking,
+                mem_budget: MemBudget::Unbounded,
+            };
+            let unbudgeted = run_with_threads(&a, &base, 1).unwrap();
+            // Budgets from "one tile per block" through "everything", plus
+            // one smaller than a single 16 × 8 tile (clamps, still runs).
+            for bytes in [1u64, 16 * 8 * 8, 16 * 24 * 8, 1 << 20] {
+                let budgeted = FunctionalConfig {
+                    mem_budget: MemBudget::bytes(bytes),
+                    ..base
+                };
+                for threads in [1, 3] {
+                    let r = run_with_threads(&a, &budgeted, threads).unwrap();
+                    assert_eq!(r, unbudgeted, "bytes={bytes} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_run_shrinks_the_scratch() {
+        let a = small();
+        let config = FunctionalConfig {
+            capacity: 40,
+            fifo_region: 8,
+            rows_a: 16,
+            cols_b: 8,
+            overbooking: true,
+            mem_budget: MemBudget::bytes(16 * 16 * 8),
+        };
+        let plan = config.execution_plan(a.nrows(), a.ncols());
+        assert_eq!(plan.block_cols(), 16, "two 8-column tiles per block");
+        assert_eq!(plan.n_col_blocks(), 4);
+        assert!(plan.fits_budget());
+        let r = run_with_threads(&a, &config, 2).unwrap();
+        assert!(approx_eq(&r.z, &spmspm_a_at(&a), 1e-9));
+    }
+
+    #[test]
     fn thread_count_does_not_change_the_result() {
         let a = small();
         let config = FunctionalConfig {
@@ -673,6 +796,7 @@ mod tests {
             rows_a: 8,
             cols_b: 16,
             overbooking: true,
+            mem_budget: MemBudget::Unbounded,
         };
         let serial = run_with_threads(&a, &config, 1).unwrap();
         for threads in [2, 3, 8] {
@@ -691,6 +815,7 @@ mod tests {
             rows_a,
             cols_b,
             overbooking: true,
+            mem_budget: MemBudget::Unbounded,
         };
         let result = run(&a, &config).unwrap();
         // Closed form: occ + (n_b - 1) × bumped per tile.
@@ -721,6 +846,7 @@ mod tests {
             rows_a: 16,
             cols_b: 16,
             overbooking: true,
+            mem_budget: MemBudget::Unbounded,
         };
         let result = run(&a, &config).unwrap();
         let n_a = a.nrows().div_ceil(config.rows_a) as u64;
@@ -736,6 +862,7 @@ mod tests {
             rows_a: 64, // one big tile that cannot fit
             cols_b: 16,
             overbooking: true,
+            mem_budget: MemBudget::Unbounded,
         };
         let buffet = FunctionalConfig {
             overbooking: false,
@@ -764,6 +891,7 @@ mod tests {
             rows_a: 4,
             cols_b: 4,
             overbooking: true,
+            mem_budget: MemBudget::Unbounded,
         };
         let r = run(&a, &config).unwrap();
         assert_eq!(r.z.nnz(), 0);
@@ -787,6 +915,7 @@ mod tests {
             rows_a: 200,
             cols_b: 1,
             overbooking: true,
+            mem_budget: MemBudget::Unbounded,
         };
         let new = run_with_threads(&a, &config, 2).unwrap();
         let old = reference_run(&a, &config).unwrap();

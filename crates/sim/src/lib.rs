@@ -9,10 +9,14 @@
 //!   A-stationary intersection SpMSpM schedule, a roofline cycle model,
 //!   and overbooking streaming-traffic accounting.
 //! * [`variants`] — ExTensor-N / ExTensor-P / ExTensor-OB tile planners.
+//! * [`exec`] — the memory-governed execution planner: 2-D (row-panel ×
+//!   column-block) work-unit grids that bound the software engines'
+//!   per-thread dense scratch to a configurable byte budget.
 //! * [`functional`] — an operation-level engine that executes the same
-//!   schedule through real `tailors-eddo` buffers on small inputs,
-//!   validating both the computed output and the analytical traffic
-//!   counts.
+//!   schedule through real `tailors-eddo` buffers, validating both the
+//!   computed output and the analytical traffic counts; with a
+//!   [`MemBudget`] it scales to wide outputs (50 k+ columns) while staying
+//!   bit-identical to the unbudgeted path.
 //!
 //! # Example
 //!
@@ -34,13 +38,15 @@
 pub mod arch;
 pub mod dataflow;
 pub mod energy;
+pub mod exec;
 pub mod functional;
 pub mod metrics;
 pub mod plan;
 pub mod variants;
 
 pub use arch::ArchConfig;
-pub use dataflow::simulate;
+pub use dataflow::{simulate, simulate_budgeted};
+pub use exec::{ExecutionPlan, MemBudget, PlanUnit, ScratchStats};
 
 /// Runs `f` with a rayon pool of exactly `threads` workers active: the
 /// ambient pool when it already has that width (no setup cost), otherwise

@@ -1,6 +1,7 @@
 //! Metrics reported by a simulated accelerator run.
 
 use crate::energy::ActivityCounts;
+use crate::exec::ScratchStats;
 use crate::plan::TilePlan;
 
 /// DRAM traffic split into the infinite-buffer baseline and the extra
@@ -74,6 +75,10 @@ pub struct RunMetrics {
     pub reuse: ReuseStats,
     /// The (normalized) tile plan that was simulated.
     pub plan: TilePlan,
+    /// Software execution-planner accounting: how a functional replay of
+    /// this tiling blocks its per-thread dense scratch under the run's
+    /// [`MemBudget`](crate::exec::MemBudget).
+    pub scratch: ScratchStats,
     /// Which resource bounds the roofline ("dram", "global-buffer",
     /// "intersection", or "compute").
     pub bound_by: &'static str,
@@ -121,6 +126,12 @@ mod tests {
                 pe_cols_b: 1,
                 full_k: true,
                 overbooking: true,
+            },
+            scratch: ScratchStats {
+                col_blocks: 1,
+                block_cols: 1,
+                bytes_per_thread: 8,
+                fits_budget: true,
             },
             bound_by: "dram",
         }

@@ -7,7 +7,8 @@ use tailors_core::TilingStrategy;
 use tailors_tensor::MatrixProfile;
 
 use crate::arch::ArchConfig;
-use crate::dataflow::simulate;
+use crate::dataflow::{simulate, simulate_budgeted};
+use crate::exec::{ExecutionPlan, MemBudget};
 use crate::metrics::RunMetrics;
 use crate::plan::TilePlan;
 
@@ -107,9 +108,39 @@ impl Variant {
         }
     }
 
+    /// The memory-governed [`ExecutionPlan`] for a functional replay of
+    /// this variant's tiling: the variant picks the `rows × cols` tile
+    /// grid, `budget` groups streamed tiles into scratch-bounded column
+    /// blocks.
+    ///
+    /// # Panics
+    ///
+    /// As [`Variant::plan`].
+    pub fn execution_plan(
+        &self,
+        profile: &MatrixProfile,
+        arch: &ArchConfig,
+        budget: MemBudget,
+    ) -> ExecutionPlan {
+        let tile = self.plan(profile, arch);
+        ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &tile, budget)
+    }
+
     /// Plans and simulates this variant on a workload in one call.
     pub fn run(&self, profile: &MatrixProfile, arch: &ArchConfig) -> RunMetrics {
         simulate(profile, arch, self.plan(profile, arch))
+    }
+
+    /// [`Variant::run`] under a per-thread scratch budget; hardware counts
+    /// are unchanged, and the induced execution plan is recorded in
+    /// [`RunMetrics::scratch`].
+    pub fn run_budgeted(
+        &self,
+        profile: &MatrixProfile,
+        arch: &ArchConfig,
+        budget: MemBudget,
+    ) -> RunMetrics {
+        simulate_budgeted(profile, arch, self.plan(profile, arch), budget)
     }
 }
 

@@ -1,11 +1,15 @@
 //! Property tests: the rewritten functional engine (CSR-slice walking,
-//! tile column-pointer slicing, dense panel scratch, rayon row panels) is
-//! bit-identical to the retained seed engine on arbitrary inputs and
-//! configurations — output matrix, DRAM traffic counts and overbooked-tile
-//! counts alike.
+//! tile column-pointer slicing, dense panel scratch, rayon row panels,
+//! memory-governed column blocking) is bit-identical to the retained seed
+//! engine on arbitrary inputs and configurations — output matrix, DRAM
+//! traffic counts and overbooked-tile counts alike — and a budgeted
+//! column-split run is bit-identical to the unbudgeted path for arbitrary
+//! budgets, tilings, and thread counts, including budgets smaller than a
+//! single column block.
 
 use proptest::prelude::*;
 use tailors_sim::functional::{reference_run, run_with_threads, FunctionalConfig};
+use tailors_sim::MemBudget;
 use tailors_tensor::gen::GenSpec;
 use tailors_tensor::ops::{approx_eq, spmspm_a_at};
 use tailors_tensor::CsrMatrix;
@@ -52,8 +56,54 @@ proptest! {
             rows_a,
             cols_b,
             overbooking,
+            mem_budget: MemBudget::Unbounded,
         };
         check_equivalent(&a, &config, threads);
+    }
+
+    /// Random budget × random tiling × random thread count: the budgeted
+    /// column-split run must equal the unbudgeted path *and* the seed
+    /// engine in every reported field. `budget_bytes` spans everything
+    /// from 0 (smaller than any column block: the planner clamps to a
+    /// single streamed tile) to more than the widest possible scratch.
+    #[test]
+    fn budgeted_column_split_is_bit_identical(
+        seed in 0u64..40,
+        heavy in proptest::bool::ANY,
+        capacity in 8usize..120,
+        fifo_frac in 1usize..90,
+        rows_a in 1usize..70,
+        cols_b in 1usize..70,
+        overbooking in proptest::bool::ANY,
+        threads in 1usize..5,
+        budget_bytes in 0u64..40_000,
+    ) {
+        let spec = if heavy {
+            GenSpec::power_law(48, 48, 400)
+        } else {
+            GenSpec::uniform(48, 48, 300)
+        };
+        let a = spec.seed(seed).generate();
+        let base = FunctionalConfig {
+            capacity,
+            fifo_region: (capacity * fifo_frac / 100).clamp(1, capacity - 1),
+            rows_a,
+            cols_b,
+            overbooking,
+            mem_budget: MemBudget::Unbounded,
+        };
+        let budgeted_config = FunctionalConfig {
+            mem_budget: MemBudget::bytes(budget_bytes),
+            ..base
+        };
+        let unbudgeted = run_with_threads(&a, &base, 1).expect("unbudgeted run");
+        let budgeted = run_with_threads(&a, &budgeted_config, threads).expect("budgeted run");
+        prop_assert_eq!(&budgeted, &unbudgeted);
+        let oracle = reference_run(&a, &base).expect("seed engine");
+        prop_assert_eq!(&budgeted.z, &oracle.z);
+        prop_assert_eq!(budgeted.dram_a_fetches, oracle.dram_a_fetches);
+        prop_assert_eq!(budgeted.dram_b_fetches, oracle.dram_b_fetches);
+        prop_assert_eq!(budgeted.overbooked_a_tiles, oracle.overbooked_a_tiles);
     }
 }
 
@@ -67,6 +117,7 @@ fn engines_agree_on_empty_matrix() {
             rows_a: 4,
             cols_b: 4,
             overbooking,
+            mem_budget: MemBudget::Unbounded,
         };
         check_equivalent(&a, &config, 3);
     }
@@ -83,6 +134,7 @@ fn engines_agree_on_single_row_panels() {
         rows_a: 1,
         cols_b: 2,
         overbooking: true,
+        mem_budget: MemBudget::Unbounded,
     };
     check_equivalent(&a, &config, 4);
 }
@@ -98,6 +150,7 @@ fn engines_agree_on_heavily_overbooked_tiles() {
         rows_a: 32,
         cols_b: 8,
         overbooking: true,
+        mem_budget: MemBudget::Unbounded,
     };
     let result = run_with_threads(&a, &config, 2).unwrap();
     assert_eq!(result.overbooked_a_tiles, 2, "both tiles must overbook");
@@ -113,6 +166,7 @@ fn engines_agree_on_one_by_one_matrix() {
         rows_a: 1,
         cols_b: 1,
         overbooking: false,
+        mem_budget: MemBudget::Unbounded,
     };
     check_equivalent(&a, &config, 1);
 }

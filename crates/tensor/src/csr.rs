@@ -282,6 +282,18 @@ impl CsrMatrix {
         self.row_ptr[r + 1] - self.row_ptr[r]
     }
 
+    /// Number of nonzeros in the row panel `r0..r1` — an O(1) slice of the
+    /// stationary operand (adjacent row-pointer difference), matching
+    /// [`crate::MatrixProfile::row_range_nnz`] without building a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r0 > r1` or `r1 > self.nrows()`.
+    pub fn row_range_nnz(&self, r0: usize, r1: usize) -> usize {
+        assert!(r0 <= r1 && r1 <= self.nrows, "row range out of bounds");
+        self.row_ptr[r1] - self.row_ptr[r0]
+    }
+
     /// Looks up the value at `(r, c)`, or `None` if structurally zero or out
     /// of bounds.
     pub fn get(&self, r: usize, c: usize) -> Option<f64> {
@@ -460,6 +472,22 @@ impl TileColPtr {
         let base = row * self.stride;
         (self.ptr[base + tile], self.ptr[base + tile + 1])
     }
+
+    /// Absolute `(start, end)` range for row `row` restricted to the run of
+    /// column tiles `t0..t1` — an O(1) slice of a whole execution-plan
+    /// column block of the streamed operand (tile boundaries are
+    /// precomputed, so a multi-tile span costs the same two loads as a
+    /// single tile). An empty run (`t0 == t1`) yields an empty range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range, `t0 > t1`, or `t1 > self.n_tiles()`.
+    #[inline]
+    pub fn row_tile_span(&self, row: usize, t0: usize, t1: usize) -> (usize, usize) {
+        assert!(t0 <= t1 && t1 <= self.n_tiles, "tile span out of range");
+        let base = row * self.stride;
+        (self.ptr[base + t0], self.ptr[base + t1])
+    }
 }
 
 #[cfg(test)]
@@ -581,6 +609,45 @@ mod tests {
                         (expect_lo, expect_hi),
                         "row {r} tile {t} width {tile_cols}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_range_nnz_matches_row_sums() {
+        let m = small();
+        for r0 in 0..=m.nrows() {
+            for r1 in r0..=m.nrows() {
+                let expect: usize = (r0..r1).map(|r| m.row_nnz(r)).sum();
+                assert_eq!(m.row_range_nnz(r0, r1), expect, "rows {r0}..{r1}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row range")]
+    fn row_range_nnz_rejects_out_of_bounds() {
+        let _ = small().row_range_nnz(0, 99);
+    }
+
+    #[test]
+    fn row_tile_span_concatenates_tile_ranges() {
+        let m = crate::gen::GenSpec::uniform(30, 64, 300).seed(9).generate();
+        let view = m.tile_col_ptr(10);
+        let n_tiles = view.n_tiles();
+        for r in 0..m.nrows() {
+            for t0 in 0..=n_tiles {
+                for t1 in t0..=n_tiles {
+                    let (lo, hi) = view.row_tile_span(r, t0, t1);
+                    assert!(lo <= hi);
+                    // The span equals the union of its per-tile ranges.
+                    if t0 < t1 {
+                        assert_eq!(lo, view.row_tile_range(r, t0).0);
+                        assert_eq!(hi, view.row_tile_range(r, t1 - 1).1);
+                    } else {
+                        assert_eq!(lo, hi);
+                    }
                 }
             }
         }

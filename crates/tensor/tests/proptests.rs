@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
+use tailors_tensor::fiber::Fiber;
 use tailors_tensor::ops::{self, count_work, spmspm, spmspm_into, SpmspmScratch};
 use tailors_tensor::stats::{geomean, overbooking_quantile, quantile, summarize};
 use tailors_tensor::tiling::{grid_tile_occupancies, RowPanels};
@@ -186,6 +187,67 @@ proptest! {
                 prop_assert_eq!(view.row_tile_range(r, t), want);
             }
         }
+    }
+
+    /// Galloping intersection is exactly equivalent to the linear
+    /// two-finger merge — matches *and* the modeled scan count — on
+    /// arbitrary fibers, including the extreme length ratios that trigger
+    /// the automatic dispatch.
+    #[test]
+    fn galloping_intersection_matches_linear(
+        mut ca in proptest::collection::vec(0u32..5_000, 0..40),
+        mut cb in proptest::collection::vec(0u32..5_000, 0..2_000),
+    ) {
+        ca.sort_unstable();
+        ca.dedup();
+        cb.sort_unstable();
+        cb.dedup();
+        let va = vec![1.0; ca.len()];
+        let vb = vec![1.0; cb.len()];
+        let a = Fiber::new(&ca, &va);
+        let b = Fiber::new(&cb, &vb);
+        let lin = a.intersect_counted_linear(&b);
+        prop_assert_eq!(a.intersect_counted_galloping(&b), lin);
+        prop_assert_eq!(a.intersect_counted(&b), lin);
+        // And flipped operands (gallop over either side).
+        let lin_flipped = b.intersect_counted_linear(&a);
+        prop_assert_eq!(b.intersect_counted_galloping(&a), lin_flipped);
+        prop_assert_eq!(b.intersect_counted(&a), lin_flipped);
+        prop_assert_eq!(lin.0, lin_flipped.0);
+    }
+
+    /// The tile column-pointer span of a whole tile run equals the union
+    /// of its per-tile ranges, and the row-panel slice of the stationary
+    /// operand is consistent with per-row sums.
+    #[test]
+    fn block_slicing_is_consistent(
+        triplets in triplets_strategy(),
+        tile_cols in 1usize..30,
+        t0 in 0usize..25,
+        span in 0usize..25,
+        r0 in 0usize..25,
+        rspan in 0usize..25,
+    ) {
+        let m = CsrMatrix::from_triplets(24, 24, &triplets).unwrap();
+        let view = m.tile_col_ptr(tile_cols);
+        let n_tiles = view.n_tiles();
+        let t0 = t0.min(n_tiles);
+        let t1 = (t0 + span).min(n_tiles);
+        for r in 0..24 {
+            let (lo, hi) = view.row_tile_span(r, t0, t1);
+            prop_assert!(lo <= hi);
+            let per_tile: usize = (t0..t1)
+                .map(|t| {
+                    let (a, b) = view.row_tile_range(r, t);
+                    b - a
+                })
+                .sum();
+            prop_assert_eq!(hi - lo, per_tile);
+        }
+        let r0 = r0.min(24);
+        let r1 = (r0 + rspan).min(24);
+        let per_row: usize = (r0..r1).map(|r| m.row_nnz(r)).sum();
+        prop_assert_eq!(m.row_range_nnz(r0, r1), per_row);
     }
 
     /// COO round-trips its pushes and CSR conversion never loses mass.

@@ -11,6 +11,7 @@
 
 use tailors::eddo::TailorConfig;
 use tailors::sim::functional::{run, FunctionalConfig};
+use tailors::sim::MemBudget;
 use tailors::tensor::gen::GenSpec;
 use tailors::tensor::ops::{approx_eq, spmspm_a_at};
 
@@ -32,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows_a: 400,
         cols_b: 400,
         overbooking: true,
+        mem_budget: MemBudget::Unbounded,
     };
     let buffet_only = FunctionalConfig {
         overbooking: false,

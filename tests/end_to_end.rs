@@ -3,7 +3,7 @@
 //! the workload suite.
 
 use tailors::sim::functional::{run, FunctionalConfig};
-use tailors::sim::{ArchConfig, Variant};
+use tailors::sim::{ArchConfig, MemBudget, Variant};
 use tailors::tensor::ops::{approx_eq, spmspm_a_at};
 use tailors::tensor::tiling::RowPanels;
 
@@ -22,6 +22,7 @@ fn functional_engine_is_correct_on_every_workload_family() {
             rows_a: (a.nrows() / 5).max(1),
             cols_b: (a.nrows() / 7).max(1),
             overbooking: true,
+            mem_budget: MemBudget::Unbounded,
         };
         let result = run(&a, &config).expect("functional run");
         let reference = spmspm_a_at(&a);
@@ -48,6 +49,7 @@ fn functional_traffic_matches_analytical_closed_form() {
         rows_a,
         cols_b,
         overbooking: true,
+        mem_budget: MemBudget::Unbounded,
     };
     let result = run(&a, &config).expect("functional run");
 
@@ -96,6 +98,42 @@ fn suite_smoke_all_variants() {
     }
 }
 
+/// A memory-budgeted functional run — column-blocked scratch — is
+/// bit-identical to the unbudgeted path on real workload families, down to
+/// budgets smaller than one column block.
+#[test]
+fn budgeted_functional_runs_match_unbudgeted_on_workloads() {
+    for name in ["rma10", "webbase-1M"] {
+        let wl = tailors::workloads::by_name(name).expect("suite tensor");
+        let a = wl.scaled(TINY).generate();
+        let base = FunctionalConfig {
+            capacity: (a.nnz() / 6).max(8),
+            fifo_region: (a.nnz() / 24).max(1),
+            rows_a: (a.nrows() / 5).max(1),
+            cols_b: (a.nrows() / 7).max(1),
+            overbooking: true,
+            mem_budget: MemBudget::Unbounded,
+        };
+        let unbudgeted = run(&a, &base).expect("unbudgeted run");
+        let one_tile_bytes = 8 * (base.rows_a as u64) * (base.cols_b as u64);
+        for budget in [
+            MemBudget::bytes(1), // clamps to a single streamed tile
+            MemBudget::bytes(one_tile_bytes),
+            MemBudget::bytes(3 * one_tile_bytes),
+        ] {
+            let budgeted = run(
+                &a,
+                &FunctionalConfig {
+                    mem_budget: budget,
+                    ..base
+                },
+            )
+            .expect("budgeted run");
+            assert_eq!(budgeted, unbudgeted, "{name}: budget {budget}");
+        }
+    }
+}
+
 /// Simulation is fully deterministic end to end.
 #[test]
 fn end_to_end_determinism() {
@@ -124,6 +162,7 @@ fn tailors_never_worse_than_buffets() {
             rows_a: rows_a.max(2),
             cols_b: (a.nrows() / 4).max(1),
             overbooking: true,
+            mem_budget: MemBudget::Unbounded,
         };
         let tailors = run(&a, &base).expect("tailors run");
         let buffets = run(
