@@ -13,7 +13,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use tailors_sim::functional::{reference_run, run, run_with_threads, FunctionalConfig};
-use tailors_sim::{ArchConfig, MemBudget, Variant};
+use tailors_sim::{ArchConfig, GridMode, MemBudget, Variant};
 use tailors_tensor::gen::GenSpec;
 use tailors_tensor::ops::{self, count_work, spmspm_a_at, spmspm_into, SpmspmScratch};
 
@@ -22,10 +22,16 @@ fn bench_intersection(c: &mut Criterion) {
     let b = GenSpec::uniform(1, 100_000, 10_000).seed(2).generate();
     let (fa, fb) = (a.row(0), b.row(0));
 
+    // Balanced operands: the scalar two-finger merge is the baseline, the
+    // bitmask-blocked walk is what `intersect_counted` now dispatches to
+    // on this shape (identical reported counts).
     let mut g = c.benchmark_group("fiber_intersection");
     g.throughput(Throughput::Elements((fa.len() + fb.len()) as u64));
     g.bench_function("two_finger_10k_x_10k", |bch| {
-        bch.iter(|| black_box(fa.intersect_counted(&fb)))
+        bch.iter(|| black_box(fa.intersect_counted_linear(&fb)))
+    });
+    g.bench_function("blocked_10k_x_10k", |bch| {
+        bch.iter(|| black_box(fa.intersect_counted_blocked(&fb)))
     });
     g.bench_function("dot_product_10k_x_10k", |bch| {
         bch.iter(|| black_box(fa.dot(&fb)))
@@ -81,17 +87,28 @@ fn bench_spmspm(c: &mut Criterion) {
         cols_b: 256,
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
+        grid: GridMode::Panels,
+    };
+    // The parallel row runs the full 2-D (panel × block) grid: a 1 MiB
+    // budget groups the 256-col tiles in pairs (4 blocks × 8 panels = 32
+    // independently schedulable units instead of 8 skew-bound panels).
+    // Results are bit-identical to `config` and to the seed engine.
+    let grid_config = FunctionalConfig {
+        mem_budget: MemBudget::bytes(256 * 512 * 8),
+        grid: GridMode::Grid2D,
+        ..config
     };
     // Before: the seed engine (tile materialization + per-element searches
     // + HashMap output accumulator).
     g.bench_function("seed_functional_engine_a_at_2k", |bch| {
         bch.iter(|| black_box(reference_run(&a, &config).unwrap()))
     });
-    // After: CSR-slice walking, prefix-sliced B tiles, dense panel scratch.
+    // After: CSR-slice walking, prefix-sliced B tiles, bitmask-blocked
+    // panel scratch, 2-D grid fan-out across all available threads.
     g.bench_function("functional_engine_a_at_2k", |bch| {
-        bch.iter(|| black_box(run(&a, &config).unwrap()))
+        bch.iter(|| black_box(run(&a, &grid_config).unwrap()))
     });
-    // After, pinned serial: the deterministic --threads 1 path.
+    // After, pinned serial: the deterministic --threads 1 panels path.
     g.bench_function("functional_engine_serial_a_at_2k", |bch| {
         bch.iter(|| black_box(run_with_threads(&a, &config, 1).unwrap()))
     });
@@ -119,8 +136,11 @@ fn bench_simulator(c: &mut Criterion) {
 }
 
 fn bench_suite(c: &mut Criterion) {
-    // The 22-workload suite at 1/256 scale: generation + three variant
-    // runs per workload, serial vs parallel fan-out.
+    // The 22-workload suite: generation (cached after the first pass) +
+    // three variant runs per workload, serial vs cost-chunked parallel
+    // fan-out. The 1/64 point is where per-workload simulation cost is
+    // large and skewed enough for the chunking to matter — uniform splits
+    // tie serial there because one bin inherits all the giants.
     let mut g = c.benchmark_group("suite");
     g.sample_size(10);
     g.bench_function("simulate_suite_serial_1_256", |bch| {
@@ -131,6 +151,18 @@ fn bench_suite(c: &mut Criterion) {
         bch.iter(|| {
             black_box(tailors_bench::simulate_suite_with_threads(
                 1.0 / 256.0,
+                threads,
+            ))
+        })
+    });
+    g.bench_function("simulate_suite_serial_1_64", |bch| {
+        bch.iter(|| black_box(tailors_bench::simulate_suite_with_threads(1.0 / 64.0, 1)))
+    });
+    g.bench_function("simulate_suite_parallel_1_64", |bch| {
+        let threads = rayon::current_num_threads();
+        bch.iter(|| {
+            black_box(tailors_bench::simulate_suite_with_threads(
+                1.0 / 64.0,
                 threads,
             ))
         })

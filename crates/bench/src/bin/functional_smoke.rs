@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run --release -p tailors-bench --bin functional_smoke --
 //! [--cols N] [--nnz N] [--rows-a N] [--cols-b N] [--auto-tile]
-//! [--mem-budget SPEC] [--threads N] [--verify]`
+//! [--mem-budget SPEC] [--grid MODE] [--threads N] [--verify]`
 //!
 //! `--auto-tile` replaces the explicit `--rows-a`/`--cols-b` tiling with
 //! the one a Swiftiles-governed strategy picks for the paper architecture
@@ -17,15 +17,19 @@
 //! 4096-row panel over 50 k columns would need ~1.6 GiB of scratch per
 //! thread; the execution plan blocks it into 8192-column strips instead.
 //! `--mem-budget` falls back to `TAILORS_MEM_BUDGET` (so `run_all
-//! --mem-budget` reaches this binary too), then to 256 MiB.
+//! --mem-budget` reaches this binary too), then to 256 MiB. `--grid 2d`
+//! (fallback: `TAILORS_GRID`, then panels) runs the full 2-D
+//! (panel x block) grid decomposition — per-unit buffer drivers with
+//! block-local traffic accounting — whose results, `--verify` proves,
+//! are still bit-identical to the seed engine.
 
 use std::time::Instant;
 
-use tailors_bench::threads_from_env;
+use tailors_bench::{grid_from_env, threads_from_env};
 use tailors_core::swiftiles::SwiftilesConfig;
 use tailors_core::TilingStrategy;
 use tailors_sim::functional::{reference_run, run_with_threads, FunctionalConfig};
-use tailors_sim::{ArchConfig, ExecutionPlan, MemBudget};
+use tailors_sim::{ArchConfig, ExecutionPlan, GridMode, MemBudget};
 use tailors_tensor::gen::GenSpec;
 
 fn main() {
@@ -35,6 +39,7 @@ fn main() {
     let mut cols_b = 2_048usize;
     let mut auto_tile = false;
     let mut budget: Option<MemBudget> = None;
+    let mut grid: Option<GridMode> = None;
     let mut threads: Option<usize> = None;
     let mut verify = false;
 
@@ -61,6 +66,7 @@ fn main() {
             "--mem-budget" => {
                 budget = Some(MemBudget::parse(&next("--mem-budget")).expect("--mem-budget"))
             }
+            "--grid" => grid = Some(GridMode::parse(&next("--grid")).expect("--grid")),
             "--threads" => {
                 threads = Some(
                     next("--threads")
@@ -77,6 +83,7 @@ fn main() {
         Ok(s) => MemBudget::parse(&s).expect("TAILORS_MEM_BUDGET"),
         Err(_) => MemBudget::mib(256),
     });
+    let grid = grid.unwrap_or_else(grid_from_env);
     let threads = threads.unwrap_or_else(threads_from_env);
 
     println!("generating {cols} x {cols} power-law tensor, target nnz {nnz} ...");
@@ -104,16 +111,20 @@ fn main() {
         cols_b,
         overbooking: true,
         mem_budget: budget,
+        grid,
     };
     let plan = config.execution_plan(a.nrows(), a.ncols());
-    let stats = plan.scratch_stats();
+    let stats = plan.scratch_stats(grid);
     println!(
-        "plan: {} row panels x {} col blocks = {} work units ({} tiles of {} cols per block)",
+        "plan: {} row panels x {} col blocks = {} work units ({} tiles of {} cols per block); \
+         grid mode {} -> {} parallel units",
         plan.n_row_panels(),
         stats.col_blocks,
         plan.units().count(),
         plan.block_tiles(),
         config.cols_b,
+        stats.grid,
+        stats.parallel_units,
     );
     // Streamed-operand balance across the plan's column blocks, each
     // block occupancy an O(1)-per-row span over the tile-pointer view.

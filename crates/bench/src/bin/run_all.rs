@@ -1,7 +1,8 @@
 //! Runs every figure/table reproduction in sequence (the full evaluation).
 //!
 //! Usage: `cargo run --release -p tailors-bench --bin run_all --
-//! [scale] [--threads N] [--mem-budget SPEC] [--no-gen-cache]`
+//! [scale] [--threads N] [--mem-budget SPEC] [--grid MODE]
+//! [--no-gen-cache]`
 //!
 //! At `scale = 1.0` (default) the workloads are generated at the paper's
 //! full dimensions; expect a few minutes, dominated by tensor generation.
@@ -12,7 +13,11 @@
 //! `--mem-budget SPEC` (e.g. `256MiB`, `1G`, `unbounded`) forwards a
 //! per-thread scratch budget to every child via `TAILORS_MEM_BUDGET`; the
 //! suite records the induced execution plans in its metrics, and the
-//! functional smoke honours it directly.
+//! functional smoke honours it directly. `--grid MODE` (`panels` or `2d`)
+//! forwards the functional grid decomposition the same way via
+//! `TAILORS_GRID` — `2d` fans functional runs out over `panels x blocks`
+//! work units with per-unit buffer drivers (results are bit-identical
+//! either way).
 //!
 //! Generated tensors are memoized on disk across the child binaries
 //! (`TAILORS_GEN_CACHE`, defaulting to `target/gen-cache`) so the ten
@@ -25,9 +30,11 @@ fn main() {
     let mut scale: Option<String> = None;
     let mut threads: Option<String> = None;
     let mut mem_budget: Option<String> = None;
+    let mut grid: Option<String> = None;
     let mut gen_cache = true;
     let mut args = std::env::args().skip(1);
-    const USAGE: &str = "usage: run_all [scale] [--threads N] [--mem-budget SPEC] [--no-gen-cache]";
+    const USAGE: &str =
+        "usage: run_all [scale] [--threads N] [--mem-budget SPEC] [--grid MODE] [--no-gen-cache]";
     while let Some(arg) = args.next() {
         if arg == "--threads" {
             let n = args.next().expect("--threads requires a value");
@@ -43,6 +50,12 @@ fn main() {
                 panic!("--mem-budget: {e}");
             }
             mem_budget = Some(spec);
+        } else if arg == "--grid" {
+            let mode = args.next().expect("--grid requires a value");
+            if let Err(e) = tailors_sim::GridMode::parse(&mode) {
+                panic!("--grid: {e}");
+            }
+            grid = Some(mode);
         } else if arg == "--no-gen-cache" {
             gen_cache = false;
         } else if arg.starts_with('-') {
@@ -75,6 +88,9 @@ fn main() {
         }
         if let Some(b) = &mem_budget {
             cmd.env("TAILORS_MEM_BUDGET", b);
+        }
+        if let Some(g) = &grid {
+            cmd.env("TAILORS_GRID", g);
         }
         if gen_cache {
             cmd.env("TAILORS_GEN_CACHE", &cache_dir);

@@ -10,16 +10,17 @@
 //! Cross-cutting environment knobs (all forwarded by `run_all` flags):
 //! `TAILORS_THREADS` pins suite worker threads, `TAILORS_MEM_BUDGET`
 //! bounds per-thread scratch via the execution planner (see
-//! [`mem_budget_from_env`]), and `TAILORS_GEN_CACHE` names the on-disk
-//! tensor-generation cache directory (see [`generate_cached`]).
+//! [`mem_budget_from_env`]), `TAILORS_GRID` picks the functional grid
+//! decomposition (see [`grid_from_env`]), and `TAILORS_GEN_CACHE` names
+//! the on-disk tensor-generation cache directory (see
+//! [`generate_cached`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod gencache;
 
-use rayon::prelude::*;
-use tailors_sim::{ArchConfig, MemBudget, RunMetrics, Variant};
+use tailors_sim::{run_balanced, ArchConfig, GridMode, MemBudget, RunMetrics, Variant};
 use tailors_tensor::MatrixProfile;
 use tailors_workloads::Workload;
 
@@ -117,6 +118,23 @@ pub fn mem_budget_from_env() -> MemBudget {
     }
 }
 
+/// The functional grid decomposition for memory-governed runs: the
+/// `TAILORS_GRID` environment variable when set (`run_all --grid`
+/// forwards it to every child binary), otherwise the panels default.
+/// Results never depend on this — it is recorded in each run's `scratch`
+/// stats and changes only the parallel width a functional replay exposes.
+///
+/// # Panics
+///
+/// Panics if `TAILORS_GRID` is set but unparseable (see
+/// [`GridMode::parse`]).
+pub fn grid_from_env() -> GridMode {
+    match std::env::var("TAILORS_GRID") {
+        Err(_) => GridMode::default(),
+        Ok(s) => GridMode::parse(&s).unwrap_or_else(|e| panic!("TAILORS_GRID: {e}")),
+    }
+}
+
 /// The architecture used by every figure, scaled consistently.
 pub fn arch_at(scale: f64) -> ArchConfig {
     ArchConfig::extensor().scaled(scale)
@@ -139,8 +157,16 @@ pub fn simulate_suite(scale: f64) -> Vec<SuiteRun> {
 }
 
 /// [`simulate_suite`] with an explicit thread count (`1` = fully serial).
-/// Workload generation dominates suite wall-clock and every workload is
-/// seeded and independent, so the output is identical for any count.
+/// Every workload is seeded and independent and results are reassembled
+/// in suite order, so the output is identical for any count.
+///
+/// The fan-out is *cost-chunked*: workloads land in
+/// [`balanced_partition`] bins weighted by their scaled size instead of
+/// uniform contiguous splits. The suite's sizes span two orders of
+/// magnitude (Table 2 runs from 63 k- to 2 M-row tensors), so a uniform
+/// split leaves every thread but the one holding the giants idle —
+/// cost-shaped bins are what actually separates the parallel and serial
+/// curves (the vendored rayon never steals work).
 ///
 /// # Panics
 ///
@@ -148,14 +174,16 @@ pub fn simulate_suite(scale: f64) -> Vec<SuiteRun> {
 pub fn simulate_suite_with_threads(scale: f64, threads: usize) -> Vec<SuiteRun> {
     assert!(threads > 0, "thread count must be positive");
     let arch = arch_at(scale);
-    // The budget never changes hardware counts; it is recorded in each
-    // run's `scratch` stats so budget sweeps can report feasibility.
+    // Budget and grid never change hardware counts; they are recorded in
+    // each run's `scratch` stats so sweeps can report feasibility and
+    // parallel width.
     let budget = mem_budget_from_env();
-    let one = |wl: Workload| {
-        let (workload, profile) = profile_at(&wl, scale);
-        let n = Variant::ExTensorN.run_budgeted(&profile, &arch, budget);
-        let p = Variant::ExTensorP.run_budgeted(&profile, &arch, budget);
-        let ob = Variant::default_ob().run_budgeted(&profile, &arch, budget);
+    let grid = grid_from_env();
+    let one = |wl: &Workload| {
+        let (workload, profile) = profile_at(wl, scale);
+        let n = Variant::ExTensorN.run_gridded(&profile, &arch, budget, grid);
+        let p = Variant::ExTensorP.run_gridded(&profile, &arch, budget, grid);
+        let ob = Variant::default_ob().run_gridded(&profile, &arch, budget, grid);
         SuiteRun {
             workload,
             profile,
@@ -165,10 +193,16 @@ pub fn simulate_suite_with_threads(scale: f64, threads: usize) -> Vec<SuiteRun> 
         }
     };
     let suite = tailors_workloads::suite();
-    if threads == 1 {
-        return suite.into_iter().map(one).collect();
-    }
-    tailors_sim::in_thread_pool(threads, || suite.into_par_iter().map(one).collect())
+    // Generation and simulation cost both scale with the tensor's nonzero
+    // count (plus a per-row term for profiles and row-panel sums).
+    let costs: Vec<u128> = suite
+        .iter()
+        .map(|wl| {
+            let s = wl.scaled(scale);
+            s.target_nnz as u128 + s.nrows as u128 + 1
+        })
+        .collect();
+    run_balanced(suite.len(), &costs, threads, |i| one(&suite[i]))
 }
 
 /// Prints a horizontal rule sized to `width`.

@@ -317,8 +317,8 @@ impl<T: Clone> Tailor<T> {
             self.stats.updates += 1;
             return Ok(());
         }
-        if let Some(slot) = self.window.iter_mut().find(|(i, _)| *i == index) {
-            slot.1 = value;
+        if let Some(pos) = self.window_pos(index) {
+            self.window[pos].1 = value;
             self.stats.updates += 1;
             return Ok(());
         }
@@ -383,10 +383,33 @@ impl<T: Clone> Tailor<T> {
         if index < self.resident.len() {
             return Some(index);
         }
-        self.window
-            .iter()
-            .position(|&(i, _)| i == index)
-            .map(|pos| self.fifo_head() + pos)
+        self.window_pos(index).map(|pos| self.fifo_head() + pos)
+    }
+
+    /// Position of tile index `index` in the streaming window, computed in
+    /// O(1) by the paper's `Index - FIFO Offset` translation (§3.3.2)
+    /// instead of scanning the window.
+    ///
+    /// The window always holds a run of *consecutive* stream indices
+    /// (oldest first): `ow_fill` delivers indices in stream order — cycling
+    /// over the bumped range `[resident_region, tile_len)` — and evicts
+    /// from the front. So an index is present iff its cyclic distance from
+    /// the oldest entry is within the window length; the stored index is
+    /// still compared as a guard so protocol misuse degrades to a miss
+    /// rather than wrong data.
+    fn window_pos(&self, index: usize) -> Option<usize> {
+        let &(oldest, _) = self.window.front()?;
+        let tile_len = self.tile_len?;
+        let head = self.fifo_head();
+        if index < head || index >= tile_len {
+            return None;
+        }
+        // Cyclic distance over the streaming period `tile_len - head`;
+        // both operands lie in [head, tile_len), so adding one period
+        // before the modulo keeps the subtraction non-negative.
+        let period = tile_len - head;
+        let pos = (index + period - oldest) % period;
+        (self.window.get(pos)?.0 == index).then_some(pos)
     }
 
     /// Access counters accumulated so far.
@@ -398,8 +421,8 @@ impl<T: Clone> Tailor<T> {
         if index < self.resident.len() {
             return Ok(self.resident[index].clone());
         }
-        if let Some((_, v)) = self.window.iter().find(|&&(i, _)| i == index) {
-            return Ok(v.clone());
+        if let Some(pos) = self.window_pos(index) {
+            return Ok(self.window[pos].1.clone());
         }
         Err(self.miss_kind(index))
     }

@@ -31,7 +31,7 @@ use tailors_tensor::MatrixProfile;
 
 use crate::arch::ArchConfig;
 use crate::energy::{ActivityCounts, EnergyModel};
-use crate::exec::{ExecutionPlan, MemBudget};
+use crate::exec::{ExecutionPlan, GridMode, MemBudget};
 use crate::metrics::{DramBreakdown, ReuseStats, RunMetrics};
 use crate::plan::TilePlan;
 
@@ -46,13 +46,8 @@ pub fn simulate(profile: &MatrixProfile, arch: &ArchConfig, plan: TilePlan) -> R
     simulate_budgeted(profile, arch, plan, MemBudget::Unbounded)
 }
 
-/// [`simulate`] under a per-thread scratch [`MemBudget`].
-///
-/// The budget never changes the modeled hardware counts — it governs the
-/// *software* execution plan (how a functional replay of this tiling would
-/// block its dense scratch), which is derived here and recorded in
-/// [`RunMetrics::scratch`] so budget sweeps can report feasibility
-/// alongside performance.
+/// [`simulate`] under a per-thread scratch [`MemBudget`], with the
+/// historical panels-only grid decomposition (see [`simulate_gridded`]).
 ///
 /// # Panics
 ///
@@ -62,6 +57,29 @@ pub fn simulate_budgeted(
     arch: &ArchConfig,
     plan: TilePlan,
     budget: MemBudget,
+) -> RunMetrics {
+    simulate_gridded(profile, arch, plan, budget, GridMode::Panels)
+}
+
+/// [`simulate`] under a per-thread scratch [`MemBudget`] and a functional
+/// [`GridMode`].
+///
+/// Neither knob changes the modeled hardware counts — they govern the
+/// *software* execution plan (how a functional replay of this tiling
+/// would block its dense scratch, and how many independently schedulable
+/// work units that exposes), which is derived here and recorded in
+/// [`RunMetrics::scratch`] so budget/grid sweeps can report feasibility
+/// and parallel width alongside performance.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_gridded(
+    profile: &MatrixProfile,
+    arch: &ArchConfig,
+    plan: TilePlan,
+    budget: MemBudget,
+    grid: GridMode,
 ) -> RunMetrics {
     assert_eq!(
         profile.nrows(),
@@ -253,7 +271,7 @@ pub fn simulate_budgeted(
 
     let energy = EnergyModel::for_arch(arch);
     let scratch = ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &plan, budget)
-        .scratch_stats();
+        .scratch_stats(grid);
     RunMetrics {
         cycles,
         energy_pj: energy.total_pj(&counts),

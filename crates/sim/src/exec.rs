@@ -126,6 +126,131 @@ impl core::fmt::Display for MemBudget {
     }
 }
 
+/// How the functional engine decomposes an [`ExecutionPlan`] across worker
+/// threads.
+///
+/// * [`GridMode::Panels`] — the historical 1-D fan-out: one work item per
+///   stationary row panel; all column blocks of a panel run on the
+///   panel's thread through one shared buffer driver, so every DRAM count
+///   is the shared-driver count by construction.
+/// * [`GridMode::Grid2D`] — full 2-D fan-out: one work item per
+///   (row panel × column block) [`PlanUnit`], each with its **own**
+///   buffer driver and block-local traffic accounting
+///   (`functional::UnitTraffic`). Reported totals use the per-block
+///   reduction (see [`crate::functional`]) and are bit-identical to the
+///   shared-driver totals, so results do not depend on the mode — only
+///   the available parallelism does (`panels × blocks` instead of
+///   `panels`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GridMode {
+    /// 1-D: fan out over row panels (column blocks share the panel's
+    /// buffer driver).
+    #[default]
+    Panels,
+    /// 2-D: fan out over (row panel × column block) units, one private
+    /// buffer driver per unit.
+    Grid2D,
+}
+
+impl GridMode {
+    /// Parses a mode name: `"panels"` / `"1d"`, or `"2d"` / `"grid"` /
+    /// `"grid2d"` (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("panels") || t.eq_ignore_ascii_case("1d") {
+            Ok(GridMode::Panels)
+        } else if t.eq_ignore_ascii_case("2d")
+            || t.eq_ignore_ascii_case("grid")
+            || t.eq_ignore_ascii_case("grid2d")
+        {
+            Ok(GridMode::Grid2D)
+        } else {
+            Err(format!(
+                "invalid grid mode {s:?} (try \"panels\" or \"2d\")"
+            ))
+        }
+    }
+}
+
+impl core::fmt::Display for GridMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GridMode::Panels => write!(f, "panels"),
+            GridMode::Grid2D => write!(f, "2d"),
+        }
+    }
+}
+
+/// Partitions item indices `0..costs.len()` into at most `bins` groups
+/// with approximately equal total cost (greedy LPT: heaviest item first,
+/// into the currently lightest bin). Deterministic: ties break on the
+/// lower bin index, equal costs on the lower item index.
+///
+/// The functional engine and the bench suite both fan work out as one
+/// OS-thread chunk per bin (the vendored rayon splits contiguously and
+/// never steals), so cost-shaped bins — not uniform splits — are what
+/// actually balances skewed workloads. Callers must reassemble results in
+/// item order; every partition of independent items yields bit-identical
+/// results.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn balanced_partition(costs: &[u128], bins: usize) -> Vec<Vec<usize>> {
+    assert!(bins > 0, "bin count must be positive");
+    let bins = bins.min(costs.len()).max(1);
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    // Stable sort, descending cost: equal-cost items keep index order.
+    order.sort_by(|&i, &j| costs[j].cmp(&costs[i]));
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); bins];
+    let mut loads: Vec<u128> = vec![0; bins];
+    for idx in order {
+        let lightest = (0..bins)
+            .min_by_key(|&b| loads[b])
+            .expect("at least one bin");
+        groups[lightest].push(idx);
+        loads[lightest] += costs[idx].max(1);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+/// Fans `n_items` work items out over `threads` cost-balanced
+/// [`balanced_partition`] bins (one contiguous chunk per thread — the
+/// vendored rayon never steals) and returns `job`'s results *in item
+/// order*, so any partition yields bit-identical output. The functional
+/// engine schedules panels and grid units through this, and the bench
+/// suite its 22 workloads.
+pub fn run_balanced<R: Send>(
+    n_items: usize,
+    costs: &[u128],
+    threads: usize,
+    job: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    if threads == 1 || n_items <= 1 {
+        return (0..n_items).map(job).collect();
+    }
+    use rayon::prelude::*;
+    let bins = balanced_partition(costs, threads);
+    let per_bin: Vec<Vec<(usize, R)>> = crate::in_thread_pool(threads, || {
+        bins.into_par_iter()
+            .map(|bin| bin.into_iter().map(|i| (i, job(i))).collect())
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n_items).map(|_| None).collect();
+    for (i, r) in per_bin.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item lands in exactly one bin"))
+        .collect()
+}
+
 /// One work unit of an [`ExecutionPlan`]: the intersection of a stationary
 /// row panel with a column block of the streamed operand.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,6 +281,11 @@ pub struct ScratchStats {
     /// Whether the scratch honours the budget (false only when the budget
     /// is smaller than a single `rows × cols_b` tile, the minimum unit).
     pub fits_budget: bool,
+    /// The grid decomposition a functional replay would fan out with.
+    pub grid: GridMode,
+    /// Independently schedulable work items under `grid`: row panels in
+    /// [`GridMode::Panels`], `panels × blocks` in [`GridMode::Grid2D`].
+    pub parallel_units: usize,
 }
 
 /// A memory-governed 2-D partitioning of one `Z = A·B` execution: row
@@ -324,13 +454,23 @@ impl ExecutionPlan {
         }
     }
 
+    /// Independently schedulable work items under `grid`.
+    pub fn parallel_units(&self, grid: GridMode) -> usize {
+        match grid {
+            GridMode::Panels => self.n_row_panels(),
+            GridMode::Grid2D => self.n_row_panels() * self.n_col_blocks(),
+        }
+    }
+
     /// The scratch accounting summary recorded in run metrics.
-    pub fn scratch_stats(&self) -> ScratchStats {
+    pub fn scratch_stats(&self, grid: GridMode) -> ScratchStats {
         ScratchStats {
             col_blocks: self.n_col_blocks(),
             block_cols: self.block_cols(),
             bytes_per_thread: self.scratch_bytes(),
             fits_budget: self.fits_budget(),
+            grid,
+            parallel_units: self.parallel_units(grid),
         }
     }
 
@@ -440,7 +580,59 @@ mod tests {
         let p = ExecutionPlan::new(1_000, 1_000, 128, 64, MemBudget::bytes(1));
         assert_eq!(p.block_tiles(), 1);
         assert!(!p.fits_budget());
-        assert!(!p.scratch_stats().fits_budget);
+        assert!(!p.scratch_stats(GridMode::Panels).fits_budget);
+    }
+
+    #[test]
+    fn grid_mode_parses_and_displays() {
+        assert_eq!(GridMode::parse("panels"), Ok(GridMode::Panels));
+        assert_eq!(GridMode::parse("1D"), Ok(GridMode::Panels));
+        assert_eq!(GridMode::parse(" 2d "), Ok(GridMode::Grid2D));
+        assert_eq!(GridMode::parse("Grid2D"), Ok(GridMode::Grid2D));
+        assert!(GridMode::parse("3d").is_err());
+        assert_eq!(GridMode::Panels.to_string(), "panels");
+        assert_eq!(GridMode::Grid2D.to_string(), "2d");
+        assert_eq!(GridMode::default(), GridMode::Panels);
+    }
+
+    #[test]
+    fn parallel_units_multiply_under_the_2d_grid() {
+        let p = ExecutionPlan::new(100, 90, 32, 16, MemBudget::bytes(32 * 16 * 2 * 8));
+        assert_eq!(p.parallel_units(GridMode::Panels), 4);
+        assert_eq!(p.parallel_units(GridMode::Grid2D), 12);
+        let s = p.scratch_stats(GridMode::Grid2D);
+        assert_eq!(s.grid, GridMode::Grid2D);
+        assert_eq!(s.parallel_units, 12);
+    }
+
+    #[test]
+    fn balanced_partition_covers_all_items_exactly_once() {
+        let costs: Vec<u128> = vec![100, 1, 1, 1, 50, 50, 1, 1];
+        let bins = balanced_partition(&costs, 3);
+        assert_eq!(bins.len(), 3);
+        let mut seen: Vec<usize> = bins.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..costs.len()).collect::<Vec<_>>());
+        // LPT: the heaviest item sits alone-ish; the two 50s share a bin
+        // or split, but no bin exceeds ~half the total.
+        let loads: Vec<u128> = bins
+            .iter()
+            .map(|g| g.iter().map(|&i| costs[i]).sum())
+            .collect();
+        assert!(loads.iter().all(|&l| l <= 103), "loads {loads:?}");
+    }
+
+    #[test]
+    fn balanced_partition_handles_degenerate_shapes() {
+        assert_eq!(balanced_partition(&[], 4), Vec::<Vec<usize>>::new());
+        let one = balanced_partition(&[7], 4);
+        assert_eq!(one, vec![vec![0]]);
+        // More bins than items: empty bins are dropped.
+        let few = balanced_partition(&[1, 2], 8);
+        assert_eq!(few.iter().flatten().count(), 2);
+        // Zero costs still place every item.
+        let zeros = balanced_partition(&[0, 0, 0], 2);
+        assert_eq!(zeros.iter().flatten().count(), 3);
     }
 
     #[test]

@@ -20,8 +20,10 @@
 //! panel the engine walks CSR row slices directly (the stationary tile is
 //! never materialized as a coordinate list), slices each streamed B tile
 //! through a precomputed [`TileColPtr`] column-pointer view instead of a
-//! per-element binary search, and accumulates into a dense per-panel
-//! scratch (the SPA formulation, matching `tailors_tensor::ops::spmspm`).
+//! per-element binary search, and accumulates into a bitmask-blocked
+//! dense scratch ([`BlockedSpa`]): one dense write plus one occupancy-word
+//! OR per effectual multiply, with extraction walking only set words/bits
+//! (ascending by construction — no per-row sort, no full zero-scan).
 //!
 //! # Memory governance
 //!
@@ -29,20 +31,49 @@
 //! finite [`MemBudget`] the panel's streamed tiles are grouped into
 //! *column blocks* and the scratch spans `rows_a × block_cols` instead of
 //! `rows_a × ncols`. A block is a run of whole B tiles traversed in the
-//! same global order through the same buffer driver, every output
-//! coordinate is owned by exactly one block, and a panel's blocks are
-//! extracted and merged in column order — so the budgeted run is
-//! bit-identical to the unbudgeted one in every reported field, and large
-//! column counts become feasible (the scratch no longer scales with
-//! `ncols`).
+//! same global order, every output coordinate is owned by exactly one
+//! block, and a panel's blocks are extracted and merged in column order —
+//! so the budgeted run is bit-identical to the unbudgeted one in every
+//! reported field, and large column counts become feasible (the scratch
+//! no longer scales with `ncols`).
 //!
-//! Panel outputs are stitched in panel order, so results — including every
-//! floating-point accumulation order — are bit-identical for every thread
-//! count, every memory budget, and bit-identical to the retained seed
-//! engine [`reference_run`].
+//! # Grid parallelism and per-block traffic accounting
+//!
+//! [`GridMode`] picks the parallel decomposition. Under
+//! [`GridMode::Panels`] all column blocks of a panel run on the panel's
+//! thread through one shared buffer driver, so every DRAM count is the
+//! shared-driver count by construction. Under [`GridMode::Grid2D`] every
+//! (panel × block) [`PlanUnit`](crate::exec::PlanUnit) is its own work
+//! item with its **own** buffer driver — `panels × blocks`-way
+//! parallelism — and traffic is accounted per block ([`UnitTraffic`])
+//! with an exact reduction back to the shared-driver totals:
+//!
+//! * A private driver's first traversal cold-fills the whole panel
+//!   (`occ` fetches); in the shared traversal order only the *first*
+//!   block of a panel pays that cold fill, and every later traversal
+//!   refetches exactly the steady-state volume `r` (`occ − resident` for
+//!   an overbooked Tailor, `occ` for an overbooked buffet, `0` when the
+//!   tile fits — see `TileDriver::steady_refetch`).
+//! * So a non-first block with a private driver (`occ + (k−1)·r` actual
+//!   fetches over its `k` tiles) is charged `k·r`: its private fetches
+//!   minus the cold fill plus one steady refetch. Summed over a panel's
+//!   blocks this telescopes to `occ + (Σk − 1)·r` — **exactly** the
+//!   shared driver's count, for every tiling and budget (property-tested
+//!   in `crates/sim/tests/functional_equivalence.rs`).
+//! * Streamed-operand traffic partitions exactly: each unit owns the B
+//!   columns of its block, and per-panel block sums equal one full pass
+//!   over B (`nnz`).
+//!
+//! Work items are distributed across threads by cost-balanced bins
+//! ([`crate::exec::balanced_partition`]) and reassembled in unit order,
+//! so results — including every floating-point accumulation order and
+//! every reported traffic count — are bit-identical for every thread
+//! count, every memory budget, and both grid modes, and bit-identical to
+//! the retained seed engine [`reference_run`].
 
-use crate::exec::{ExecutionPlan, MemBudget};
+use crate::exec::{run_balanced, ExecutionPlan, GridMode, MemBudget, PlanUnit};
 use tailors_eddo::{Buffet, EddoError, Tailor, TailorConfig};
+use tailors_tensor::ops::BlockedSpa;
 use tailors_tensor::{CooMatrix, CsrMatrix, TileColPtr};
 
 /// Configuration of a functional run.
@@ -63,6 +94,11 @@ pub struct FunctionalConfig {
     /// it groups streamed tiles into column blocks. Any budget yields
     /// bit-identical results; it only bounds memory.
     pub mem_budget: MemBudget,
+    /// Parallel decomposition: row panels only, or the full 2-D
+    /// (panel × block) grid with per-unit buffer drivers. Either mode
+    /// yields bit-identical results; it only changes the available
+    /// parallelism.
+    pub grid: GridMode,
 }
 
 impl FunctionalConfig {
@@ -127,6 +163,22 @@ pub fn run_with_threads(
     config: &FunctionalConfig,
     threads: usize,
 ) -> Result<FunctionalResult, EddoError> {
+    match config.grid {
+        GridMode::Panels => run_panels_mode(a, config, threads),
+        GridMode::Grid2D => Ok(run_grid(a, config, threads)?.0),
+    }
+}
+
+/// Validated common setup for both grid modes: the streamed operand, the
+/// execution plan, and (when the memory guard allows) the tile
+/// column-pointer view.
+struct EngineSetup {
+    b: CsrMatrix,
+    plan: ExecutionPlan,
+    b_tiles: Option<TileColPtr>,
+}
+
+fn engine_setup(a: &CsrMatrix, config: &FunctionalConfig, threads: usize) -> EngineSetup {
     assert_eq!(a.nrows(), a.ncols(), "A·Aᵀ expects a square matrix");
     assert!(config.capacity > 0, "capacity must be positive");
     assert!(
@@ -136,41 +188,51 @@ pub fn run_with_threads(
     assert!(threads > 0, "thread count must be positive");
     let b = a.transpose();
     let n = a.nrows();
-    let cols_b = config.cols_b;
     let plan = config.execution_plan(n, n);
-    let n_a_tiles = plan.n_row_panels();
-    let n_b_tiles = plan.n_col_tiles();
-
-    // Streamed-operand traffic: every A tile streams all of B exactly once
-    // (tile occupancies are row-pointer differences summing to nnz), so the
-    // per-(ti, tj) row scans of the seed engine collapse to one constant.
-    let dram_b_per_a_tile: u64 = a.nnz() as u64;
     // Column-pointer view of B at the tile grid: row k ∩ tile tj becomes an
     // O(1) slice instead of a per-element partition_point. The view costs
     // nrows × (n_tiles + 1) indices; when a degenerate tiling (tiny cols_b
     // on a wide B) would make that dwarf the matrix itself, skip it and let
     // panels fall back to per-element range searches.
+    let n_b_tiles = plan.n_col_tiles();
     let view_cells = b.nrows() * (n_b_tiles + 1);
     let b_tiles = if view_cells <= 8 * b.nnz() + 4096 {
-        let view = b.tile_col_ptr(cols_b);
+        let view = b.tile_col_ptr(config.cols_b);
         debug_assert_eq!(view.n_tiles(), n_b_tiles);
         Some(view)
     } else {
         None
     };
+    EngineSetup { b, plan, b_tiles }
+}
 
-    let panel = |ti: usize| -> Result<PanelOutput, EddoError> {
-        run_panel(a, &b, b_tiles.as_ref(), config, &plan, ti)
-    };
+/// [`run_with_threads`] in [`GridMode::Panels`]: one work item per row
+/// panel, all blocks of a panel sharing its buffer driver.
+fn run_panels_mode(
+    a: &CsrMatrix,
+    config: &FunctionalConfig,
+    threads: usize,
+) -> Result<FunctionalResult, EddoError> {
+    let EngineSetup { b, plan, b_tiles } = engine_setup(a, config, threads);
+    let n = a.nrows();
+    let n_a_tiles = plan.n_row_panels();
 
-    let panel_results: Vec<Result<PanelOutput, EddoError>> = if threads == 1 || n_a_tiles <= 1 {
-        (0..n_a_tiles).map(panel).collect()
-    } else {
-        use rayon::prelude::*;
-        crate::in_thread_pool(threads, || {
-            (0..n_a_tiles).into_par_iter().map(panel).collect()
+    // Streamed-operand traffic: every A tile streams all of B exactly once
+    // (tile occupancies are row-pointer differences summing to nnz), so the
+    // per-(ti, tj) row scans of the seed engine collapse to one constant.
+    let dram_b_per_a_tile: u64 = a.nnz() as u64;
+
+    // Panel cost ≈ occupancy (what both the traversals and the accumulate
+    // work scale with); +1 keeps empty panels schedulable.
+    let costs: Vec<u128> = (0..n_a_tiles)
+        .map(|ti| {
+            let r = plan.panel_rows(ti);
+            a.row_range_nnz(r.start, r.end) as u128 + 1
         })
-    };
+        .collect();
+    let panel_results = run_balanced(n_a_tiles, &costs, threads, |ti| {
+        run_panel(a, &b, b_tiles.as_ref(), config, &plan, ti)
+    });
 
     // Stitch disjoint row panels, in panel order, into one CSR output.
     let mut row_ptr: Vec<usize> = Vec::with_capacity(n + 1);
@@ -201,6 +263,117 @@ pub fn run_with_threads(
     })
 }
 
+/// Block-local traffic accounting of one (panel × block)
+/// [`PlanUnit`](crate::exec::PlanUnit) executed with its own buffer
+/// driver ([`GridMode::Grid2D`]).
+///
+/// `dram_a_fetches` applies the per-block reduction (see the
+/// [module docs](self)): per panel, block 0 is charged its private
+/// fetches and every later block `private − occ + steady_refetch`, which
+/// sums *exactly* to the shared-driver total. `dram_a_private` is what
+/// this unit's driver actually fetched (the cost of making blocks
+/// independent: each non-first block cold-fills the panel once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitTraffic {
+    /// Row-panel index of the unit.
+    pub row_panel: usize,
+    /// Column-block index of the unit.
+    pub col_block: usize,
+    /// Shared-driver-equivalent stationary-operand fetches charged to this
+    /// unit; summing these over a panel's blocks reproduces the shared
+    /// driver's count exactly.
+    pub dram_a_fetches: u64,
+    /// Stationary-operand fetches this unit's private driver actually
+    /// performed.
+    pub dram_a_private: u64,
+    /// Streamed-operand nonzeros this unit owns (the B columns of its
+    /// block); per-panel block sums equal one full pass over B.
+    pub dram_b_fetches: u64,
+    /// Whether the panel overbooks the operand buffer; reported on
+    /// `col_block == 0` only so panel sums count each panel once.
+    pub overbooked: bool,
+}
+
+/// [`run_with_threads`] in [`GridMode::Grid2D`], also returning the
+/// per-unit traffic breakdown. The [`FunctionalResult`] is bit-identical
+/// to the [`GridMode::Panels`] run (and to [`reference_run`]) in every
+/// field; the breakdown additionally exposes what each unit's private
+/// driver really did.
+///
+/// # Errors
+///
+/// Propagates buffer-protocol errors (none occur for well-formed input).
+///
+/// # Panics
+///
+/// As [`run_with_threads`].
+pub fn run_grid(
+    a: &CsrMatrix,
+    config: &FunctionalConfig,
+    threads: usize,
+) -> Result<(FunctionalResult, Vec<UnitTraffic>), EddoError> {
+    let EngineSetup { b, plan, b_tiles } = engine_setup(a, config, threads);
+    let n = a.nrows();
+    let units: Vec<PlanUnit> = plan.units().collect();
+
+    // Unit cost ≈ panel occupancy × its share of the streamed operand
+    // (the accumulate work) plus the traversal cost of the panel itself.
+    let costs: Vec<u128> = units
+        .iter()
+        .map(|u| {
+            let occ = a.row_range_nnz(u.rows.start, u.rows.end) as u128;
+            let block = a.row_range_nnz(u.cols.start, u.cols.end) as u128;
+            occ * block + occ + block + 1
+        })
+        .collect();
+    let unit_results = run_balanced(units.len(), &costs, threads, |ui| {
+        run_unit(a, &b, b_tiles.as_ref(), config, &plan, &units[ui])
+    });
+    let mut outputs: Vec<UnitOutput> = Vec::with_capacity(unit_results.len());
+    let mut traffic: Vec<UnitTraffic> = Vec::with_capacity(unit_results.len());
+    for r in unit_results {
+        let (o, t) = r?;
+        outputs.push(o);
+        traffic.push(t);
+    }
+
+    // Stitch: units are in (panel, block) row-major order; per panel,
+    // concatenate each output row's block segments in block order —
+    // exactly the staged merge the shared-driver path performs. A
+    // zero-dimensional input has no blocks at all (`outputs` is empty and
+    // the chunk loop must simply not run); `max(1)` keeps `chunks` legal.
+    let n_blocks = plan.n_col_blocks().max(1);
+    let mut row_ptr: Vec<usize> = Vec::with_capacity(n + 1);
+    row_ptr.push(0);
+    let mut cols: Vec<u32> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    for (pi, panel_outputs) in outputs.chunks(n_blocks).enumerate() {
+        let panel_rows = plan.panel_rows(pi).len();
+        // Per-unit cursors advance monotonically because rows were
+        // drained in order.
+        let mut cursors = vec![0usize; panel_outputs.len()];
+        for lr in 0..panel_rows {
+            let before = cols.len();
+            for (u, cursor) in panel_outputs.iter().zip(cursors.iter_mut()) {
+                let len = u.row_lens[lr];
+                cols.extend_from_slice(&u.cols[*cursor..*cursor + len]);
+                vals.extend_from_slice(&u.vals[*cursor..*cursor + len]);
+                *cursor += len;
+            }
+            row_ptr.push(row_ptr.last().expect("non-empty") + (cols.len() - before));
+        }
+    }
+    let z = CsrMatrix::from_parts(n, n, row_ptr, cols, vals)
+        .expect("unit emission produces canonical CSR");
+    let result = FunctionalResult {
+        z,
+        dram_a_fetches: traffic.iter().map(|t| t.dram_a_fetches).sum(),
+        dram_b_fetches: traffic.iter().map(|t| t.dram_b_fetches).sum(),
+        overbooked_a_tiles: traffic.iter().filter(|t| t.overbooked).count(),
+    };
+    Ok((result, traffic))
+}
+
 /// Output of one stationary row panel.
 struct PanelOutput {
     /// Nonzeros per output row of the panel, in row order.
@@ -211,6 +384,56 @@ struct PanelOutput {
     vals: Vec<f64>,
     dram_a_fetches: u64,
     overbooked: bool,
+}
+
+/// Output of one (panel × block) unit: the panel's rows restricted to the
+/// block's columns.
+struct UnitOutput {
+    /// Nonzeros per output row within this block, in row order.
+    row_lens: Vec<usize>,
+    /// Sorted output columns (all within the block), rows concatenated.
+    cols: Vec<u32>,
+    /// Output values parallel to `cols`.
+    vals: Vec<f64>,
+}
+
+/// One in-order traversal of the stationary tile against streamed tile
+/// `tj`, accumulating into `spa` (block-local columns, re-based at `c0`).
+/// On error the caller must restore the scratch invariant via
+/// [`BlockedSpa::clear`].
+#[allow(clippy::too_many_arguments)]
+fn traverse_tile<S: TileSource>(
+    driver: &mut TileDriver<S>,
+    b: &CsrMatrix,
+    b_tiles: Option<&TileColPtr>,
+    config: &FunctionalConfig,
+    tj: usize,
+    n: usize,
+    m0: usize,
+    c0: usize,
+    spa: &mut BlockedSpa,
+) -> Result<(), EddoError> {
+    let b_row_ptr = b.row_ptr();
+    let b_cols = b.col_indices();
+    let b_vals = b.values();
+    let n0 = (tj * config.cols_b) as u32;
+    let n1 = ((tj + 1) * config.cols_b).min(n) as u32;
+    driver.traverse(|&(m, k, va)| {
+        let (lo, hi) = match b_tiles {
+            Some(view) => view.row_tile_range(k as usize, tj),
+            None => {
+                let (rlo, rhi) = (b_row_ptr[k as usize], b_row_ptr[k as usize + 1]);
+                let coords = &b_cols[rlo..rhi];
+                let start = rlo + coords.partition_point(|&c| c < n0);
+                let end = rlo + coords.partition_point(|&c| c < n1);
+                (start, end)
+            }
+        };
+        let local_row = m as usize - m0;
+        for (&nn, &vb) in b_cols[lo..hi].iter().zip(&b_vals[lo..hi]) {
+            spa.accumulate(local_row, nn as usize - c0, va * vb);
+        }
+    })
 }
 
 /// Executes all B-tile traversals for stationary panel `ti`, one plan
@@ -234,34 +457,16 @@ fn run_panel(
     let tile = PanelElems::new(a, m0, m1);
     let overbooked = tile.len() > config.capacity;
 
-    let b_row_ptr = b.row_ptr();
-    let b_cols = b.col_indices();
-    let b_vals = b.values();
-    let cols_b = config.cols_b;
-
-    // Dense SPA scratch spanning the panel's output rows × one plan column
-    // block: `(m - m0, nn)` accumulates at
-    // `dense[(m - m0) * width + (nn - c0)]` for the block covering columns
-    // `[c0, c0 + width)`. Touched coordinates are tracked per row so
-    // extraction stays proportional to the output. The scratch is
-    // thread-local and reused across panels and runs — it is zeroed once
-    // when a thread first (or ever wider) needs it, and every exit path
-    // below restores the all-zero invariant by clearing exactly the
-    // touched slots, so a sparse panel never pays an O(rows × width) wipe.
+    // Bitmask-blocked SPA scratch spanning the panel's output rows × one
+    // plan column block. The scratch is thread-local and reused across
+    // panels and runs; extraction (`drain_row`) restores its all-zero
+    // invariant as it goes, so a sparse panel never pays an
+    // O(rows × width) wipe.
     let panel_rows = m1 - m0;
     let width = plan.block_cols();
     PANEL_SCRATCH.with(|scratch| {
-        let (dense, touched) = &mut *scratch.borrow_mut();
-        if dense.len() < panel_rows * width {
-            dense.resize(panel_rows * width, 0.0);
-        }
-        debug_assert!(dense.iter().all(|&v| v == 0.0));
-        for t in touched.iter_mut() {
-            t.clear();
-        }
-        if touched.len() < panel_rows {
-            touched.resize(panel_rows, Vec::new());
-        }
+        let spa = &mut *scratch.borrow_mut();
+        spa.reset_shape(panel_rows, width);
 
         let mut driver = TileDriver::new(tile, config)?;
         // Per-row staging across blocks. A single-block plan (the
@@ -281,72 +486,26 @@ fn run_panel(
         for unit in plan.panel_units(ti) {
             let c0 = unit.cols.start;
             for tj in unit.tiles.clone() {
-                let n0 = (tj * cols_b) as u32;
-                let n1 = ((tj + 1) * cols_b).min(n) as u32;
-                // Traverse the stationary tile once, intersecting each
-                // element against the B tile's column range.
-                let traversal = driver.traverse(|&(m, k, va)| {
-                    let (lo, hi) = match b_tiles {
-                        Some(view) => view.row_tile_range(k as usize, tj),
-                        None => {
-                            let (rlo, rhi) = (b_row_ptr[k as usize], b_row_ptr[k as usize + 1]);
-                            let coords = &b_cols[rlo..rhi];
-                            let start = rlo + coords.partition_point(|&c| c < n0);
-                            let end = rlo + coords.partition_point(|&c| c < n1);
-                            (start, end)
-                        }
-                    };
-                    let local = (m as usize - m0) * width;
-                    let row_touched = &mut touched[m as usize - m0];
-                    for (&nn, &vb) in b_cols[lo..hi].iter().zip(&b_vals[lo..hi]) {
-                        let slot = &mut dense[local + (nn as usize - c0)];
-                        if *slot == 0.0 {
-                            row_touched.push(nn);
-                        }
-                        *slot += va * vb;
-                    }
-                });
-                if let Err(e) = traversal {
-                    // Restore the all-zero invariant before propagating
-                    // (only the current block's slots can be live; earlier
-                    // blocks were zeroed at extraction).
-                    for (lr, row_touched) in touched.iter().enumerate().take(panel_rows) {
-                        for &nn in row_touched {
-                            dense[lr * width + (nn as usize - c0)] = 0.0;
-                        }
-                    }
+                if let Err(e) = traverse_tile(&mut driver, b, b_tiles, config, tj, n, m0, c0, spa) {
+                    // Restore the all-zero invariant before propagating.
+                    spa.clear();
                     return Err(e);
                 }
             }
 
-            // Extract this block in row order and reset its slots; blocks
-            // own disjoint column ranges and run left to right, so per-row
-            // concatenation preserves sorted column order.
-            for (lr, row_touched) in touched.iter_mut().take(panel_rows).enumerate() {
-                row_touched.sort_unstable();
-                if multi_block {
-                    let (row_cols, row_vals) = &mut staged[lr];
-                    for &nn in row_touched.iter() {
-                        // `take` doubles as the scratch reset: every touched
-                        // slot (duplicates included) is zeroed exactly here.
-                        let v = core::mem::take(&mut dense[lr * width + (nn as usize - c0)]);
-                        if v != 0.0 {
-                            row_cols.push(nn);
-                            row_vals.push(v);
-                        }
-                    }
-                } else {
+            // Extract this block in row order; blocks own disjoint column
+            // ranges and run left to right, so per-row concatenation
+            // preserves sorted column order.
+            if multi_block {
+                for (lr, (row_cols, row_vals)) in staged.iter_mut().enumerate() {
+                    spa.drain_row(lr, c0 as u32, row_cols, row_vals);
+                }
+            } else {
+                for lr in 0..panel_rows {
                     let before = cols.len();
-                    for &nn in row_touched.iter() {
-                        let v = core::mem::take(&mut dense[lr * width + (nn as usize - c0)]);
-                        if v != 0.0 {
-                            cols.push(nn);
-                            vals.push(v);
-                        }
-                    }
+                    spa.drain_row(lr, c0 as u32, &mut cols, &mut vals);
                     row_lens.push(cols.len() - before);
                 }
-                row_touched.clear();
             }
         }
 
@@ -368,12 +527,80 @@ fn run_panel(
     })
 }
 
+/// Executes one (panel × block) unit with a private buffer driver,
+/// returning the block-restricted output and its [`UnitTraffic`].
+fn run_unit(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    b_tiles: Option<&TileColPtr>,
+    config: &FunctionalConfig,
+    plan: &ExecutionPlan,
+    unit: &PlanUnit,
+) -> Result<(UnitOutput, UnitTraffic), EddoError> {
+    let n = a.nrows();
+    let (m0, m1) = (unit.rows.start, unit.rows.end);
+    let tile = PanelElems::new(a, m0, m1);
+    let occ = tile.len() as u64;
+    let overbooked = tile.len() > config.capacity;
+    let panel_rows = m1 - m0;
+    let c0 = unit.cols.start;
+    // This unit's share of the streamed operand: the nonzeros of B columns
+    // [c0, c1) are the nonzeros of A rows [c0, c1).
+    let dram_b = a.row_range_nnz(unit.cols.start, unit.cols.end) as u64;
+
+    PANEL_SCRATCH.with(|scratch| {
+        let spa = &mut *scratch.borrow_mut();
+        spa.reset_shape(panel_rows, plan.block_cols());
+        let mut driver = TileDriver::new(tile, config)?;
+        for tj in unit.tiles.clone() {
+            if let Err(e) = traverse_tile(&mut driver, b, b_tiles, config, tj, n, m0, c0, spa) {
+                spa.clear();
+                return Err(e);
+            }
+        }
+        let mut row_lens = Vec::with_capacity(panel_rows);
+        let mut cols: Vec<u32> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for lr in 0..panel_rows {
+            let before = cols.len();
+            spa.drain_row(lr, c0 as u32, &mut cols, &mut vals);
+            row_lens.push(cols.len() - before);
+        }
+
+        // The per-block reduction (see the module docs): block 0 is the
+        // shared driver's own prefix; later blocks replace their private
+        // cold fill (occ) with one steady-state refetch.
+        let private = driver.fetches();
+        debug_assert!(private >= occ, "a traversal fetches the tile at least once");
+        let dram_a = if unit.col_block == 0 {
+            private
+        } else {
+            private - occ + driver.steady_refetch()
+        };
+        Ok((
+            UnitOutput {
+                row_lens,
+                cols,
+                vals,
+            },
+            UnitTraffic {
+                row_panel: unit.row_panel,
+                col_block: unit.col_block,
+                dram_a_fetches: dram_a,
+                dram_a_private: private,
+                dram_b_fetches: dram_b,
+                overbooked: overbooked && unit.col_block == 0,
+            },
+        ))
+    })
+}
+
 thread_local! {
-    /// Per-thread SPA scratch for [`run_panel`]: the dense accumulator
-    /// (all-zero between panels, by construction) and the per-row touched
-    /// lists. Reused across panels and runs on the same thread.
-    static PANEL_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<Vec<u32>>)> =
-        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    /// Per-thread bitmask-blocked SPA scratch for [`run_panel`] /
+    /// [`run_unit`]: all-zero between panels by construction (extraction
+    /// drains it), reused across panels and runs on the same thread.
+    static PANEL_SCRATCH: std::cell::RefCell<BlockedSpa> =
+        std::cell::RefCell::new(BlockedSpa::new());
 }
 
 /// Indexed access to a stationary tile's elements.
@@ -460,6 +687,7 @@ enum TileDriver<S: TileSource> {
         tile: S,
         buf: Tailor<Elem>,
         fetches: u64,
+        steady: u64,
     },
     Buffet {
         tile: S,
@@ -467,27 +695,44 @@ enum TileDriver<S: TileSource> {
         window_start: usize,
         window_end: usize,
         fetches: u64,
+        steady: u64,
     },
 }
 
 impl<S: TileSource> TileDriver<S> {
     fn new(tile: S, config: &FunctionalConfig) -> Result<Self, EddoError> {
+        let occ = tile.len();
         if config.overbooking {
             let tc = TailorConfig::new(config.capacity, config.fifo_region)?;
             let mut buf = Tailor::new(tc);
-            buf.set_tile_len(tile.len());
+            buf.set_tile_len(occ);
+            // Every traversal after the first refetches exactly the bumped
+            // remainder: the streaming period (occ − resident) strictly
+            // exceeds the FIFO region whenever occ > capacity, so each
+            // bumped index is evicted before its next read and streamed
+            // around exactly once per traversal.
+            let steady = if occ > config.capacity {
+                (occ - tc.resident_region()) as u64
+            } else {
+                0
+            };
             Ok(TileDriver::Tailor {
                 tile,
                 buf,
                 fetches: 0,
+                steady,
             })
         } else {
+            // A sliding-window buffet cannot rewind: an overbooked tile is
+            // dropped and refilled whole on every traversal (Fig. 3).
+            let steady = if occ > config.capacity { occ as u64 } else { 0 };
             Ok(TileDriver::Buffet {
                 tile,
                 buf: Buffet::new(config.capacity),
                 window_start: 0,
                 window_end: 0,
                 fetches: 0,
+                steady,
             })
         }
     }
@@ -499,11 +744,24 @@ impl<S: TileSource> TileDriver<S> {
         }
     }
 
+    /// Parent fetches every traversal after the first performs — the
+    /// steady-state refetch volume the per-block accounting reduction is
+    /// built on (zero when the tile fits its buffer). The first traversal
+    /// always cold-fills the whole tile (`tile.len()` fetches).
+    fn steady_refetch(&self) -> u64 {
+        match self {
+            TileDriver::Tailor { steady, .. } => *steady,
+            TileDriver::Buffet { steady, .. } => *steady,
+        }
+    }
+
     /// One full in-order traversal of the tile, calling `visit` on every
     /// element exactly once.
     fn traverse<F: FnMut(&Elem)>(&mut self, mut visit: F) -> Result<(), EddoError> {
         match self {
-            TileDriver::Tailor { tile, buf, fetches } => {
+            TileDriver::Tailor {
+                tile, buf, fetches, ..
+            } => {
                 for i in 0..tile.len() {
                     loop {
                         match buf.read(i) {
@@ -540,6 +798,7 @@ impl<S: TileSource> TileDriver<S> {
                 window_start,
                 window_end,
                 fetches,
+                ..
             } => {
                 for i in 0..tile.len() {
                     if i < *window_start {
@@ -683,6 +942,7 @@ mod tests {
             cols_b: 16,
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let result = run(&a, &config).unwrap();
         let reference = spmspm_a_at(&a);
@@ -706,6 +966,7 @@ mod tests {
             cols_b: 16,
             overbooking: false,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let result = run(&a, &config).unwrap();
         assert!(approx_eq(&result.z, &spmspm_a_at(&a), 1e-9));
@@ -726,6 +987,7 @@ mod tests {
                     cols_b,
                     overbooking,
                     mem_budget: MemBudget::Unbounded,
+                    grid: GridMode::Panels,
                 };
                 let new = run(&a, &config).unwrap();
                 let old = reference_run(&a, &config).unwrap();
@@ -751,6 +1013,7 @@ mod tests {
                 cols_b: 8,
                 overbooking,
                 mem_budget: MemBudget::Unbounded,
+                grid: GridMode::Panels,
             };
             let unbudgeted = run_with_threads(&a, &base, 1).unwrap();
             // Budgets from "one tile per block" through "everything", plus
@@ -758,6 +1021,7 @@ mod tests {
             for bytes in [1u64, 16 * 8 * 8, 16 * 24 * 8, 1 << 20] {
                 let budgeted = FunctionalConfig {
                     mem_budget: MemBudget::bytes(bytes),
+                    grid: GridMode::Panels,
                     ..base
                 };
                 for threads in [1, 3] {
@@ -778,6 +1042,7 @@ mod tests {
             cols_b: 8,
             overbooking: true,
             mem_budget: MemBudget::bytes(16 * 16 * 8),
+            grid: GridMode::Panels,
         };
         let plan = config.execution_plan(a.nrows(), a.ncols());
         assert_eq!(plan.block_cols(), 16, "two 8-column tiles per block");
@@ -785,6 +1050,91 @@ mod tests {
         assert!(plan.fits_budget());
         let r = run_with_threads(&a, &config, 2).unwrap();
         assert!(approx_eq(&r.z, &spmspm_a_at(&a), 1e-9));
+    }
+
+    #[test]
+    fn grid_2d_is_bit_identical_to_panels_mode() {
+        let a = small();
+        for overbooking in [false, true] {
+            let base = FunctionalConfig {
+                capacity: 40,
+                fifo_region: 8,
+                rows_a: 16,
+                cols_b: 8,
+                overbooking,
+                mem_budget: MemBudget::Unbounded,
+                grid: GridMode::Panels,
+            };
+            let shared = run_with_threads(&a, &base, 1).unwrap();
+            for bytes in [1u64, 16 * 8 * 8, 16 * 24 * 8, 1 << 20] {
+                let grid2d = FunctionalConfig {
+                    mem_budget: MemBudget::bytes(bytes),
+                    grid: GridMode::Grid2D,
+                    ..base
+                };
+                for threads in [1, 3] {
+                    let r = run_with_threads(&a, &grid2d, threads).unwrap();
+                    assert_eq!(
+                        r, shared,
+                        "ob={overbooking} bytes={bytes} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_unit_traffic_reduces_exactly_to_shared_driver_counts() {
+        let a = small();
+        for overbooking in [false, true] {
+            // One streamed tile per block: the most private drivers (and
+            // the most cold fills the reduction has to cancel out).
+            let config = FunctionalConfig {
+                capacity: 40,
+                fifo_region: 8,
+                rows_a: 16,
+                cols_b: 8,
+                overbooking,
+                mem_budget: MemBudget::bytes(16 * 8 * 8),
+                grid: GridMode::Grid2D,
+            };
+            let shared = run_with_threads(
+                &a,
+                &FunctionalConfig {
+                    grid: GridMode::Panels,
+                    ..config
+                },
+                1,
+            )
+            .unwrap();
+            let (result, traffic) = run_grid(&a, &config, 2).unwrap();
+            assert_eq!(result, shared, "ob={overbooking}");
+            let plan = config.execution_plan(a.nrows(), a.ncols());
+            assert_eq!(traffic.len(), plan.parallel_units(GridMode::Grid2D));
+            // Adjusted counts sum exactly; private counts only exceed them
+            // (each non-first block pays its own cold fill).
+            let adjusted: u64 = traffic.iter().map(|t| t.dram_a_fetches).sum();
+            let private: u64 = traffic.iter().map(|t| t.dram_a_private).sum();
+            assert_eq!(adjusted, shared.dram_a_fetches);
+            assert!(private >= adjusted);
+            assert_eq!(
+                traffic.iter().map(|t| t.dram_b_fetches).sum::<u64>(),
+                shared.dram_b_fetches
+            );
+            assert_eq!(
+                traffic.iter().filter(|t| t.overbooked).count(),
+                shared.overbooked_a_tiles
+            );
+            // Per panel, the streamed-operand shares partition one pass.
+            for pi in 0..plan.n_row_panels() {
+                let panel_b: u64 = traffic
+                    .iter()
+                    .filter(|t| t.row_panel == pi)
+                    .map(|t| t.dram_b_fetches)
+                    .sum();
+                assert_eq!(panel_b, a.nnz() as u64, "panel {pi}");
+            }
+        }
     }
 
     #[test]
@@ -797,6 +1147,7 @@ mod tests {
             cols_b: 16,
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let serial = run_with_threads(&a, &config, 1).unwrap();
         for threads in [2, 3, 8] {
@@ -816,6 +1167,7 @@ mod tests {
             cols_b,
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let result = run(&a, &config).unwrap();
         // Closed form: occ + (n_b - 1) × bumped per tile.
@@ -847,6 +1199,7 @@ mod tests {
             cols_b: 16,
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let result = run(&a, &config).unwrap();
         let n_a = a.nrows().div_ceil(config.rows_a) as u64;
@@ -863,6 +1216,7 @@ mod tests {
             cols_b: 16,
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let buffet = FunctionalConfig {
             overbooking: false,
@@ -892,15 +1246,29 @@ mod tests {
             cols_b: 4,
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let r = run(&a, &config).unwrap();
         assert_eq!(r.z.nnz(), 0);
         assert_eq!(r.dram_a_fetches, 0);
         assert_eq!(r.dram_b_fetches, 0);
-        // Zero-dimensional input: zero tiles on both axes.
-        let z = run(&CsrMatrix::new(0, 0), &config).unwrap();
-        assert_eq!(z.z.nrows(), 0);
-        assert_eq!(z.dram_a_fetches, 0);
+        // Zero-dimensional input: zero tiles on both axes, in both grid
+        // modes (Grid2D has zero units and must not choke on it).
+        for grid in [GridMode::Panels, GridMode::Grid2D] {
+            let z = run(&CsrMatrix::new(0, 0), &FunctionalConfig { grid, ..config }).unwrap();
+            assert_eq!(z.z.nrows(), 0);
+            assert_eq!(z.dram_a_fetches, 0);
+        }
+        // And the empty-but-nonzero-dimensional case in 2-D mode.
+        let g = run(
+            &a,
+            &FunctionalConfig {
+                grid: GridMode::Grid2D,
+                ..config
+            },
+        )
+        .unwrap();
+        assert_eq!(g, r);
     }
 
     #[test]
@@ -916,6 +1284,7 @@ mod tests {
             cols_b: 1,
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let new = run_with_threads(&a, &config, 2).unwrap();
         let old = reference_run(&a, &config).unwrap();

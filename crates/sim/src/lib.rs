@@ -11,12 +11,16 @@
 //! * [`variants`] — ExTensor-N / ExTensor-P / ExTensor-OB tile planners.
 //! * [`exec`] — the memory-governed execution planner: 2-D (row-panel ×
 //!   column-block) work-unit grids that bound the software engines'
-//!   per-thread dense scratch to a configurable byte budget.
+//!   per-thread dense scratch to a configurable byte budget, the
+//!   [`GridMode`] parallel decomposition, and the cost-balanced
+//!   work-partitioner ([`balanced_partition`]) the engines schedule with.
 //! * [`functional`] — an operation-level engine that executes the same
 //!   schedule through real `tailors-eddo` buffers, validating both the
 //!   computed output and the analytical traffic counts; with a
 //!   [`MemBudget`] it scales to wide outputs (50 k+ columns) while staying
-//!   bit-identical to the unbudgeted path.
+//!   bit-identical to the unbudgeted path, and with [`GridMode::Grid2D`]
+//!   it fans out over `panels × blocks` work units (per-unit buffer
+//!   drivers with exact block-local traffic accounting).
 //!
 //! # Example
 //!
@@ -45,8 +49,10 @@ pub mod plan;
 pub mod variants;
 
 pub use arch::ArchConfig;
-pub use dataflow::{simulate, simulate_budgeted};
-pub use exec::{ExecutionPlan, MemBudget, PlanUnit, ScratchStats};
+pub use dataflow::{simulate, simulate_budgeted, simulate_gridded};
+pub use exec::{
+    balanced_partition, run_balanced, ExecutionPlan, GridMode, MemBudget, PlanUnit, ScratchStats,
+};
 
 /// Runs `f` with a rayon pool of exactly `threads` workers active: the
 /// ambient pool when it already has that width (no setup cost), otherwise

@@ -132,6 +132,8 @@ mod tests {
                 block_cols: 1,
                 bytes_per_thread: 8,
                 fits_budget: true,
+                grid: crate::exec::GridMode::Panels,
+                parallel_units: 1,
             },
             bound_by: "dram",
         }

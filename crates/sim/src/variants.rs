@@ -7,8 +7,8 @@ use tailors_core::TilingStrategy;
 use tailors_tensor::MatrixProfile;
 
 use crate::arch::ArchConfig;
-use crate::dataflow::{simulate, simulate_budgeted};
-use crate::exec::{ExecutionPlan, MemBudget};
+use crate::dataflow::{simulate, simulate_gridded};
+use crate::exec::{ExecutionPlan, GridMode, MemBudget};
 use crate::metrics::RunMetrics;
 use crate::plan::TilePlan;
 
@@ -140,7 +140,22 @@ impl Variant {
         arch: &ArchConfig,
         budget: MemBudget,
     ) -> RunMetrics {
-        simulate_budgeted(profile, arch, self.plan(profile, arch), budget)
+        self.run_gridded(profile, arch, budget, GridMode::Panels)
+    }
+
+    /// [`Variant::run_budgeted`] with an explicit functional [`GridMode`]:
+    /// hardware counts are still unchanged, and the recorded
+    /// [`RunMetrics::scratch`] additionally reports how many independent
+    /// work units a functional replay would fan out
+    /// (`panels × blocks` under [`GridMode::Grid2D`]).
+    pub fn run_gridded(
+        &self,
+        profile: &MatrixProfile,
+        arch: &ArchConfig,
+        budget: MemBudget,
+        grid: GridMode,
+    ) -> RunMetrics {
+        simulate_gridded(profile, arch, self.plan(profile, arch), budget, grid)
     }
 }
 

@@ -1,15 +1,18 @@
 //! Property tests: the rewritten functional engine (CSR-slice walking,
-//! tile column-pointer slicing, dense panel scratch, rayon row panels,
-//! memory-governed column blocking) is bit-identical to the retained seed
-//! engine on arbitrary inputs and configurations — output matrix, DRAM
-//! traffic counts and overbooked-tile counts alike — and a budgeted
-//! column-split run is bit-identical to the unbudgeted path for arbitrary
-//! budgets, tilings, and thread counts, including budgets smaller than a
-//! single column block.
+//! tile column-pointer slicing, bitmask-blocked dense panel scratch,
+//! cost-balanced rayon fan-out, memory-governed column blocking) is
+//! bit-identical to the retained seed engine on arbitrary inputs and
+//! configurations — output matrix, DRAM traffic counts and
+//! overbooked-tile counts alike; a budgeted column-split run is
+//! bit-identical to the unbudgeted path for arbitrary budgets, tilings,
+//! and thread counts, including budgets smaller than a single column
+//! block; and the 2-D (panel × block) grid mode — private buffer driver
+//! per unit — reports block-local traffic whose per-block reduction sums
+//! *exactly* to the shared-driver totals at every thread count.
 
 use proptest::prelude::*;
-use tailors_sim::functional::{reference_run, run_with_threads, FunctionalConfig};
-use tailors_sim::MemBudget;
+use tailors_sim::functional::{reference_run, run_grid, run_with_threads, FunctionalConfig};
+use tailors_sim::{GridMode, MemBudget};
 use tailors_tensor::gen::GenSpec;
 use tailors_tensor::ops::{approx_eq, spmspm_a_at};
 use tailors_tensor::CsrMatrix;
@@ -57,6 +60,7 @@ proptest! {
             cols_b,
             overbooking,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         check_equivalent(&a, &config, threads);
     }
@@ -77,6 +81,7 @@ proptest! {
         overbooking in proptest::bool::ANY,
         threads in 1usize..5,
         budget_bytes in 0u64..40_000,
+        grid2d in proptest::bool::ANY,
     ) {
         let spec = if heavy {
             GenSpec::power_law(48, 48, 400)
@@ -91,9 +96,11 @@ proptest! {
             cols_b,
             overbooking,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let budgeted_config = FunctionalConfig {
             mem_budget: MemBudget::bytes(budget_bytes),
+            grid: if grid2d { GridMode::Grid2D } else { GridMode::Panels },
             ..base
         };
         let unbudgeted = run_with_threads(&a, &base, 1).expect("unbudgeted run");
@@ -104,6 +111,71 @@ proptest! {
         prop_assert_eq!(budgeted.dram_a_fetches, oracle.dram_a_fetches);
         prop_assert_eq!(budgeted.dram_b_fetches, oracle.dram_b_fetches);
         prop_assert_eq!(budgeted.overbooked_a_tiles, oracle.overbooked_a_tiles);
+    }
+
+    /// The 2-D grid's block-local accounting, on arbitrary inputs:
+    /// per-unit adjusted DRAM counts must sum *exactly* to the
+    /// shared-driver totals (globally, and per panel for the streamed
+    /// operand), private counts must dominate adjusted ones, the
+    /// overbooked flag must fire once per overbooked panel, and none of
+    /// it may depend on the thread count.
+    #[test]
+    fn per_block_counts_sum_to_shared_driver_totals(
+        seed in 0u64..40,
+        heavy in proptest::bool::ANY,
+        capacity in 8usize..120,
+        fifo_frac in 1usize..90,
+        rows_a in 1usize..70,
+        cols_b in 1usize..70,
+        overbooking in proptest::bool::ANY,
+        threads in 1usize..5,
+        budget_bytes in 0u64..40_000,
+    ) {
+        let spec = if heavy {
+            GenSpec::power_law(48, 48, 400)
+        } else {
+            GenSpec::uniform(48, 48, 300)
+        };
+        let a = spec.seed(seed).generate();
+        let config = FunctionalConfig {
+            capacity,
+            fifo_region: (capacity * fifo_frac / 100).clamp(1, capacity - 1),
+            rows_a,
+            cols_b,
+            overbooking,
+            mem_budget: MemBudget::bytes(budget_bytes),
+            grid: GridMode::Grid2D,
+        };
+        let shared = run_with_threads(
+            &a,
+            &FunctionalConfig { grid: GridMode::Panels, ..config },
+            1,
+        )
+        .expect("shared-driver run");
+        let (result, traffic) = run_grid(&a, &config, threads).expect("2-D grid run");
+        prop_assert_eq!(&result, &shared);
+        let plan = config.execution_plan(a.nrows(), a.ncols());
+        prop_assert_eq!(traffic.len(), plan.parallel_units(GridMode::Grid2D));
+        let adjusted: u64 = traffic.iter().map(|t| t.dram_a_fetches).sum();
+        let private: u64 = traffic.iter().map(|t| t.dram_a_private).sum();
+        prop_assert_eq!(adjusted, shared.dram_a_fetches);
+        prop_assert!(private >= adjusted);
+        prop_assert_eq!(
+            traffic.iter().map(|t| t.dram_b_fetches).sum::<u64>(),
+            shared.dram_b_fetches
+        );
+        prop_assert_eq!(
+            traffic.iter().filter(|t| t.overbooked).count(),
+            shared.overbooked_a_tiles
+        );
+        for pi in 0..plan.n_row_panels() {
+            let panel_b: u64 = traffic
+                .iter()
+                .filter(|t| t.row_panel == pi)
+                .map(|t| t.dram_b_fetches)
+                .sum();
+            prop_assert_eq!(panel_b, a.nnz() as u64);
+        }
     }
 }
 
@@ -118,6 +190,7 @@ fn engines_agree_on_empty_matrix() {
             cols_b: 4,
             overbooking,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         check_equivalent(&a, &config, 3);
     }
@@ -135,6 +208,7 @@ fn engines_agree_on_single_row_panels() {
         cols_b: 2,
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
+        grid: GridMode::Panels,
     };
     check_equivalent(&a, &config, 4);
 }
@@ -151,6 +225,7 @@ fn engines_agree_on_heavily_overbooked_tiles() {
         cols_b: 8,
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
+        grid: GridMode::Panels,
     };
     let result = run_with_threads(&a, &config, 2).unwrap();
     assert_eq!(result.overbooked_a_tiles, 2, "both tiles must overbook");
@@ -167,6 +242,7 @@ fn engines_agree_on_one_by_one_matrix() {
         cols_b: 1,
         overbooking: false,
         mem_budget: MemBudget::Unbounded,
+        grid: GridMode::Panels,
     };
     check_equivalent(&a, &config, 1);
 }

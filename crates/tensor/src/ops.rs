@@ -6,8 +6,11 @@
 //! row in a *dense scratch array* (the SPA): `O(ncols)` storage reused for
 //! every row, giving O(1) accumulation per effectual multiply with no
 //! hashing, no per-element searches, and no allocation in the hot loop.
-//! [`spmspm_into`] exposes the allocation-reusing entry point;
-//! [`SpmspmScratch`] carries the scratch between calls.
+//! The scratch here is a [`BlockedSpa`]: a `u64` occupancy-word array rides
+//! alongside the dense values, so extraction walks only the set words and
+//! bits (in ascending-coordinate order, for free) instead of sorting a
+//! touched-coordinate list. [`spmspm_into`] exposes the allocation-reusing
+//! entry point; [`SpmspmScratch`] carries the scratch between calls.
 //!
 //! The seed's hash-accumulator kernel lives on in [`reference`] — it is the
 //! obviously-correct ground truth the property tests and benchmarks compare
@@ -15,8 +18,168 @@
 
 use crate::{CsrMatrix, TensorError};
 
-/// Reusable workspace for [`spmspm_into`]: a dense accumulator spanning the
-/// output's columns plus the touched-coordinate list.
+/// A bitmask-blocked sparse accumulator: a dense `f64` grid of
+/// `rows × width` slots with one `u64` occupancy word per 64 columns of
+/// each row.
+///
+/// Accumulation is one dense write plus one mask OR — branchless, no
+/// touched-list push. Extraction ([`BlockedSpa::drain_row`]) visits only
+/// the words a row actually touched (tracked per row as word indices, so
+/// sparse rows never scan the full width) and walks their set bits with
+/// `trailing_zeros`, which yields coordinates in ascending order without a
+/// sort and restores the all-zero invariant as it goes.
+///
+/// Both the [`spmspm_into`] kernel and the functional engine's panel
+/// scratch (`tailors_sim::functional`) are built on this type; the
+/// property suites pin its output bit-identical to the seed hash
+/// accumulator.
+///
+/// # Example
+///
+/// ```
+/// use tailors_tensor::ops::BlockedSpa;
+///
+/// let mut spa = BlockedSpa::new();
+/// spa.reset_shape(1, 200);
+/// spa.accumulate(0, 130, 2.0);
+/// spa.accumulate(0, 7, 1.5);
+/// spa.accumulate(0, 130, -1.0);
+/// let (mut cols, mut vals) = (Vec::new(), Vec::new());
+/// spa.drain_row(0, 1000, &mut cols, &mut vals);
+/// assert_eq!(cols, vec![1007, 1130]); // ascending, re-based
+/// assert_eq!(vals, vec![1.5, 1.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockedSpa {
+    rows: usize,
+    width: usize,
+    /// Occupancy words per row: `width.div_ceil(64)`.
+    words: usize,
+    /// Dense accumulator, `rows × width`, all-zero outside set mask bits.
+    dense: Vec<f64>,
+    /// Occupancy words, `rows × words`; bit `c % 64` of word `c / 64`
+    /// marks column `c` as touched.
+    mask: Vec<u64>,
+    /// Word indices each row touched this round, unsorted, no duplicates
+    /// (a word is pushed only on its 0 → nonzero transition).
+    touched: Vec<Vec<u32>>,
+}
+
+impl BlockedSpa {
+    /// Creates an empty accumulator; [`BlockedSpa::reset_shape`] sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)shapes the accumulator to `rows × width`, growing the backing
+    /// storage as needed (never shrinking). All slots start — and, between
+    /// drains, stay — zero, so reshaping is O(1) beyond first-time growth.
+    pub fn reset_shape(&mut self, rows: usize, width: usize) {
+        let words = width.div_ceil(64);
+        if self.dense.len() < rows * width {
+            self.dense.resize(rows * width, 0.0);
+        }
+        if self.mask.len() < rows * words {
+            self.mask.resize(rows * words, 0);
+        }
+        if self.touched.len() < rows {
+            self.touched.resize(rows, Vec::new());
+        }
+        self.rows = rows;
+        self.width = width;
+        self.words = words;
+        debug_assert!(self.is_clear(), "reshaped a non-drained accumulator");
+    }
+
+    /// Rows of the current shape.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns per row of the current shape.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Allocated dense slots (grows monotonically across reshapes).
+    pub fn capacity_slots(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// Adds `v` to slot (`row`, `col`) and marks its occupancy bit.
+    ///
+    /// `row < rows()` and `col < width()` are preconditions checked only
+    /// in debug builds: the backing storage never shrinks, so in release
+    /// an out-of-shape index that still lands inside a previous (larger)
+    /// shape's allocation writes a stale slot — and would later drain as
+    /// a wrong coordinate — rather than panicking. Indices beyond the
+    /// allocation panic on the slice bound either way.
+    #[inline]
+    pub fn accumulate(&mut self, row: usize, col: usize, v: f64) {
+        debug_assert!(row < self.rows && col < self.width);
+        self.dense[row * self.width + col] += v;
+        let word = &mut self.mask[row * self.words + (col >> 6)];
+        if *word == 0 {
+            self.touched[row].push((col >> 6) as u32);
+        }
+        *word |= 1u64 << (col & 63);
+    }
+
+    /// Drains one row in ascending-column order into `cols`/`vals`,
+    /// re-basing each local column by `base` and dropping slots whose
+    /// accumulated value is exactly `0.0` (matching the reference kernel's
+    /// exact-cancellation behaviour). Resets every touched slot, word, and
+    /// the row's touched list — the all-zero invariant is restored for
+    /// free.
+    pub fn drain_row(&mut self, row: usize, base: u32, cols: &mut Vec<u32>, vals: &mut Vec<f64>) {
+        debug_assert!(row < self.rows);
+        let row_touched = &mut self.touched[row];
+        row_touched.sort_unstable();
+        for &wi in row_touched.iter() {
+            let word = core::mem::take(&mut self.mask[row * self.words + wi as usize]);
+            let mut bits = word;
+            while bits != 0 {
+                let c = (wi as usize) * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let v = core::mem::take(&mut self.dense[row * self.width + c]);
+                if v != 0.0 {
+                    cols.push(base + c as u32);
+                    vals.push(v);
+                }
+            }
+        }
+        row_touched.clear();
+    }
+
+    /// Discards all pending accumulation, restoring the all-zero invariant
+    /// without emitting anything (the error-path reset).
+    pub fn clear(&mut self) {
+        for row in 0..self.rows {
+            let row_touched = &mut self.touched[row];
+            for &wi in row_touched.iter() {
+                let word = core::mem::take(&mut self.mask[row * self.words + wi as usize]);
+                let mut bits = word;
+                while bits != 0 {
+                    let c = (wi as usize) * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.dense[row * self.width + c] = 0.0;
+                }
+            }
+            row_touched.clear();
+        }
+    }
+
+    /// Whether every slot, word, and touched list is zero/empty (the
+    /// between-uses invariant; O(allocation), debug assertions only).
+    pub fn is_clear(&self) -> bool {
+        self.dense.iter().all(|&v| v == 0.0)
+            && self.mask.iter().all(|&w| w == 0)
+            && self.touched.iter().all(|t| t.is_empty())
+    }
+}
+
+/// Reusable workspace for [`spmspm_into`]: a one-row [`BlockedSpa`]
+/// spanning the output's columns.
 ///
 /// Reusing one scratch across many multiplies (the tiled engines do this
 /// per row panel) keeps the hot path allocation-free after the first call.
@@ -39,11 +202,7 @@ use crate::{CsrMatrix, TensorError};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SpmspmScratch {
-    /// Dense per-column accumulator; entries outside `touched` are 0.0.
-    dense: Vec<f64>,
-    /// Columns written this row (may contain duplicates after a transient
-    /// exact cancellation; emission deduplicates).
-    touched: Vec<u32>,
+    spa: BlockedSpa,
 }
 
 impl SpmspmScratch {
@@ -52,15 +211,10 @@ impl SpmspmScratch {
         Self::default()
     }
 
-    /// Current dense-accumulator width in columns.
+    /// Current dense-accumulator width in columns (the widest multiply
+    /// seen so far; the backing storage never shrinks).
     pub fn width(&self) -> usize {
-        self.dense.len()
-    }
-
-    fn ensure_width(&mut self, ncols: usize) {
-        if self.dense.len() < ncols {
-            self.dense.resize(ncols, 0.0);
-        }
+        self.spa.capacity_slots()
     }
 }
 
@@ -109,9 +263,8 @@ pub fn spmspm_into(
             right: (b.nrows(), b.ncols()),
         });
     }
-    scratch.ensure_width(b.ncols());
-    let dense = &mut scratch.dense;
-    let touched = &mut scratch.touched;
+    scratch.spa.reset_shape(1, b.ncols());
+    let spa = &mut scratch.spa;
 
     let b_row_ptr = b.row_ptr();
     let b_cols = b.col_indices();
@@ -126,29 +279,17 @@ pub fn spmspm_into(
     out_row_ptr.push(0);
 
     for m in 0..a.nrows() {
-        touched.clear();
         let row_a = a.row(m);
         for (&k, &va) in row_a.coords().iter().zip(row_a.values()) {
             let (lo, hi) = (b_row_ptr[k as usize], b_row_ptr[k as usize + 1]);
             for (&n, &vb) in b_cols[lo..hi].iter().zip(&b_vals[lo..hi]) {
-                let slot = &mut dense[n as usize];
-                // `0.0` doubles as the "untouched" marker. A transient
-                // exact cancellation re-pushes `n`; emission below
-                // deduplicates because the first visit resets the slot.
-                if *slot == 0.0 {
-                    touched.push(n);
-                }
-                *slot += va * vb;
+                spa.accumulate(0, n as usize, va * vb);
             }
         }
-        touched.sort_unstable();
-        for &n in touched.iter() {
-            let v = core::mem::take(&mut dense[n as usize]);
-            if v != 0.0 {
-                out_cols.push(n);
-                out_vals.push(v);
-            }
-        }
+        // Bit-walk emission is ascending and deduplicated by construction;
+        // exact cancellations (sum == 0.0) are dropped, as the reference
+        // does.
+        spa.drain_row(0, 0, &mut out_cols, &mut out_vals);
         out_row_ptr.push(out_cols.len());
     }
 
@@ -391,8 +532,9 @@ mod tests {
     #[test]
     fn transient_cancellation_keeps_output_sorted_and_deduped() {
         // Row 0 of A hits column 0 of Z through two paths that cancel
-        // exactly, then a third that revives it: the touched list sees
-        // column 0 twice, emission must still produce one sorted entry.
+        // exactly, then a third that revives it: the occupancy bit stays
+        // set through the cancellation, emission must still produce one
+        // sorted entry.
         let a = CsrMatrix::from_triplets(1, 3, &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0)]).unwrap();
         let b =
             CsrMatrix::from_triplets(3, 2, &[(0, 0, 5.0), (1, 0, -5.0), (2, 0, 2.0), (2, 1, 1.0)])
@@ -486,6 +628,67 @@ mod tests {
         assert!(approx_eq(&a, &b, 1e-9));
         assert!(!approx_eq(&a, &c, 1e-9));
         assert!(!approx_eq(&a, &CsrMatrix::new(3, 3), 1e-9));
+    }
+
+    #[test]
+    fn blocked_spa_drains_ascending_across_words() {
+        let mut spa = BlockedSpa::new();
+        spa.reset_shape(2, 300);
+        // Touch words out of order, multiple bits per word, on both rows.
+        for &(r, c, v) in &[
+            (1usize, 299usize, 1.0),
+            (0, 64, 2.0),
+            (0, 0, 3.0),
+            (0, 63, 4.0),
+            (0, 128, 5.0),
+            (0, 65, 6.0),
+        ] {
+            spa.accumulate(r, c, v);
+        }
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        spa.drain_row(0, 10, &mut cols, &mut vals);
+        assert_eq!(cols, vec![10, 73, 74, 75, 138]);
+        assert_eq!(vals, vec![3.0, 4.0, 2.0, 6.0, 5.0]);
+        spa.drain_row(1, 0, &mut cols, &mut vals);
+        assert_eq!(cols.last(), Some(&299));
+        assert!(spa.is_clear());
+    }
+
+    #[test]
+    fn blocked_spa_drops_exact_cancellations_but_keeps_the_bit_cost_free() {
+        let mut spa = BlockedSpa::new();
+        spa.reset_shape(1, 64);
+        spa.accumulate(0, 5, 1.0);
+        spa.accumulate(0, 5, -1.0);
+        spa.accumulate(0, 9, 2.0);
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        spa.drain_row(0, 0, &mut cols, &mut vals);
+        assert_eq!(cols, vec![9]);
+        assert_eq!(vals, vec![2.0]);
+        assert!(spa.is_clear());
+    }
+
+    #[test]
+    fn blocked_spa_clear_restores_the_invariant_without_emitting() {
+        let mut spa = BlockedSpa::new();
+        spa.reset_shape(3, 100);
+        spa.accumulate(0, 99, 1.0);
+        spa.accumulate(2, 0, 2.0);
+        assert!(!spa.is_clear());
+        spa.clear();
+        assert!(spa.is_clear());
+        // Reshape (narrower and wider) keeps the invariant and reuses the
+        // allocation.
+        spa.reset_shape(1, 10);
+        assert_eq!(spa.width(), 10);
+        spa.reset_shape(2, 170);
+        spa.accumulate(1, 169, 7.0);
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        spa.drain_row(1, 0, &mut cols, &mut vals);
+        assert_eq!(
+            (cols.as_slice(), vals.as_slice()),
+            (&[169u32][..], &[7.0][..])
+        );
     }
 
     #[test]

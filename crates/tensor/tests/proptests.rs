@@ -150,6 +150,62 @@ proptest! {
         prop_assert_eq!(&spmspm_into(&a, &b, &mut scratch).unwrap(), &oracle);
     }
 
+    /// The bitmask-blocked accumulator is bit-identical to the classic
+    /// dense scratch (a sorted touched-coordinate list over a dense
+    /// array) for arbitrary accumulation sequences and block tilings:
+    /// same extraction order, same bits, same exact-cancellation drops —
+    /// per block, with blocks drained in any column partition.
+    #[test]
+    fn blocked_spa_matches_dense_scratch_on_arbitrary_tilings(
+        writes in proptest::collection::vec(
+            (0usize..6, 0usize..96, 0usize..5), 0..200),
+        block_cols in 1usize..97,
+        rows in 1usize..7,
+    ) {
+        let width = 96usize;
+        let mut spa = ops::BlockedSpa::new();
+        spa.reset_shape(rows, block_cols.min(width));
+        // Model: dense array + touched list per row, drained per block —
+        // exactly the pre-blocked engine formulation.
+        let mut dense = vec![vec![0.0f64; width]; rows];
+        let mut touched: Vec<Vec<usize>> = vec![Vec::new(); rows];
+        let mut got: (Vec<u32>, Vec<f64>) = Default::default();
+        let mut want: (Vec<u32>, Vec<f64>) = Default::default();
+        for c0 in (0..width).step_by(block_cols) {
+            let c1 = (c0 + block_cols).min(width);
+            for &(r, c, v) in &writes {
+                let r = r % rows;
+                if c < c0 || c >= c1 {
+                    continue;
+                }
+                let val = (v as f64 - 2.0) * 0.5;
+                spa.accumulate(r, c - c0, val);
+                let slot = &mut dense[r][c];
+                if *slot == 0.0 {
+                    touched[r].push(c);
+                }
+                *slot += val;
+            }
+            for r in 0..rows {
+                spa.drain_row(r, c0 as u32, &mut got.0, &mut got.1);
+                touched[r].sort_unstable();
+                for &c in touched[r].iter() {
+                    let v = core::mem::take(&mut dense[r][c]);
+                    if v != 0.0 {
+                        want.0.push(c as u32);
+                        want.1.push(v);
+                    }
+                }
+                touched[r].clear();
+            }
+        }
+        prop_assert_eq!(&got.0, &want.0);
+        for (g, w) in got.1.iter().zip(&want.1) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+        prop_assert!(spa.is_clear());
+    }
+
     /// The symbolic work counter agrees with the materializing oracle
     /// whenever values cannot cancel.
     #[test]
@@ -208,10 +264,12 @@ proptest! {
         let b = Fiber::new(&cb, &vb);
         let lin = a.intersect_counted_linear(&b);
         prop_assert_eq!(a.intersect_counted_galloping(&b), lin);
+        prop_assert_eq!(a.intersect_counted_blocked(&b), lin);
         prop_assert_eq!(a.intersect_counted(&b), lin);
         // And flipped operands (gallop over either side).
         let lin_flipped = b.intersect_counted_linear(&a);
         prop_assert_eq!(b.intersect_counted_galloping(&a), lin_flipped);
+        prop_assert_eq!(b.intersect_counted_blocked(&a), lin_flipped);
         prop_assert_eq!(b.intersect_counted(&a), lin_flipped);
         prop_assert_eq!(lin.0, lin_flipped.0);
     }

@@ -11,7 +11,7 @@
 
 use tailors::eddo::TailorConfig;
 use tailors::sim::functional::{run, FunctionalConfig};
-use tailors::sim::MemBudget;
+use tailors::sim::{GridMode, MemBudget};
 use tailors::tensor::gen::GenSpec;
 use tailors::tensor::ops::{approx_eq, spmspm_a_at};
 
@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cols_b: 400,
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
+        grid: GridMode::Grid2D,
     };
     let buffet_only = FunctionalConfig {
         overbooking: false,

@@ -3,7 +3,7 @@
 //! the workload suite.
 
 use tailors::sim::functional::{run, FunctionalConfig};
-use tailors::sim::{ArchConfig, MemBudget, Variant};
+use tailors::sim::{ArchConfig, GridMode, MemBudget, Variant};
 use tailors::tensor::ops::{approx_eq, spmspm_a_at};
 use tailors::tensor::tiling::RowPanels;
 
@@ -23,6 +23,7 @@ fn functional_engine_is_correct_on_every_workload_family() {
             cols_b: (a.nrows() / 7).max(1),
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let result = run(&a, &config).expect("functional run");
         let reference = spmspm_a_at(&a);
@@ -50,8 +51,21 @@ fn functional_traffic_matches_analytical_closed_form() {
         cols_b,
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
+        grid: GridMode::Panels,
     };
     let result = run(&a, &config).expect("functional run");
+    // The 2-D grid's per-block accounting must reduce to the same closed
+    // form (a sub-tile budget maximizes the number of private drivers).
+    let gridded = run(
+        &a,
+        &FunctionalConfig {
+            mem_budget: MemBudget::bytes(1),
+            grid: GridMode::Grid2D,
+            ..config
+        },
+    )
+    .expect("2-D grid run");
+    assert_eq!(gridded, result);
 
     // Closed form, as computed by the analytical dataflow model.
     let n_b = a.nrows().div_ceil(cols_b) as u64;
@@ -113,6 +127,7 @@ fn budgeted_functional_runs_match_unbudgeted_on_workloads() {
             cols_b: (a.nrows() / 7).max(1),
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let unbudgeted = run(&a, &base).expect("unbudgeted run");
         let one_tile_bytes = 8 * (base.rows_a as u64) * (base.cols_b as u64);
@@ -121,15 +136,18 @@ fn budgeted_functional_runs_match_unbudgeted_on_workloads() {
             MemBudget::bytes(one_tile_bytes),
             MemBudget::bytes(3 * one_tile_bytes),
         ] {
-            let budgeted = run(
-                &a,
-                &FunctionalConfig {
-                    mem_budget: budget,
-                    ..base
-                },
-            )
-            .expect("budgeted run");
-            assert_eq!(budgeted, unbudgeted, "{name}: budget {budget}");
+            for grid in [GridMode::Panels, GridMode::Grid2D] {
+                let budgeted = run(
+                    &a,
+                    &FunctionalConfig {
+                        mem_budget: budget,
+                        grid,
+                        ..base
+                    },
+                )
+                .expect("budgeted run");
+                assert_eq!(budgeted, unbudgeted, "{name}: budget {budget} grid {grid}");
+            }
         }
     }
 }
@@ -163,6 +181,7 @@ fn tailors_never_worse_than_buffets() {
             cols_b: (a.nrows() / 4).max(1),
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
         };
         let tailors = run(&a, &base).expect("tailors run");
         let buffets = run(
