@@ -12,6 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use tailors_serve::{SimRequest, SimService};
 use tailors_sim::functional::{reference_run, run, run_with_threads, FunctionalConfig};
 use tailors_sim::{ArchConfig, GridMode, MemBudget, Variant};
 use tailors_tensor::gen::GenSpec;
@@ -170,11 +171,61 @@ fn bench_suite(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_serving(c: &mut Criterion) {
+    // Cold vs hot request latency through the serving layer: one batch of
+    // 22 workloads × 3 variants at 1/64 scale. The tensors are pinned so
+    // the cold row measures the serving layer's own per-request work —
+    // content hashing, profiling, tile/execution planning — and the hot
+    // row what remains once the profile and plan tiers answer (the pure
+    // `run_planned` replay). The gap is the construction cost every
+    // steady-state request skips.
+    let scale = 1.0 / 64.0;
+    let arch = ArchConfig::extensor().scaled(scale);
+    let reqs: Vec<SimRequest> = tailors_workloads::suite()
+        .iter()
+        .flat_map(|wl| {
+            [
+                Variant::ExTensorN,
+                Variant::ExTensorP,
+                Variant::default_ob(),
+            ]
+            .map(|variant| SimRequest {
+                workload: wl.scaled(scale),
+                variant,
+                arch,
+                budget: MemBudget::Unbounded,
+                grid: GridMode::Panels,
+            })
+        })
+        .collect();
+    let pinned: Vec<_> = reqs
+        .iter()
+        .map(|r| tailors_bench::generate_cached(&r.workload))
+        .collect();
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(reqs.len() as u64));
+    g.bench_function("suite_batch_cold_1_64", |bch| {
+        bch.iter(|| {
+            let service = SimService::new();
+            black_box(service.submit_batch(&reqs, 1))
+        })
+    });
+    let service = SimService::new();
+    service.submit_batch(&reqs, 1);
+    g.bench_function("suite_batch_hot_1_64", |bch| {
+        bch.iter(|| black_box(service.submit_batch(&reqs, 1)))
+    });
+    g.finish();
+    drop(pinned);
+}
+
 criterion_group!(
     benches,
     bench_intersection,
     bench_spmspm,
     bench_simulator,
-    bench_suite
+    bench_suite,
+    bench_serving
 );
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p tailors-bench --bin run_all --
 //! [scale] [--threads N] [--mem-budget SPEC] [--grid MODE]
-//! [--no-gen-cache]`
+//! [--no-gen-cache] [--serve]`
 //!
 //! At `scale = 1.0` (default) the workloads are generated at the paper's
 //! full dimensions; expect a few minutes, dominated by tensor generation.
@@ -23,6 +23,12 @@
 //! (`TAILORS_GEN_CACHE`, defaulting to `target/gen-cache`) so the ten
 //! children stop regenerating ten identical copies of the suite;
 //! `--no-gen-cache` disables the disk layer.
+//!
+//! `--serve` appends the `tailors-serve` sweep driver (`serve` binary) to
+//! the sequence: repeated suite × variant sweeps through the long-lived
+//! [`SimService`](https://docs.rs/tailors-serve) with `--verify`, proving
+//! plan-hot steady-state responses bit-identical to cold `Variant` runs.
+//! All the knobs above reach it through the same environment variables.
 
 use std::process::Command;
 
@@ -32,9 +38,10 @@ fn main() {
     let mut mem_budget: Option<String> = None;
     let mut grid: Option<String> = None;
     let mut gen_cache = true;
+    let mut serve = false;
     let mut args = std::env::args().skip(1);
-    const USAGE: &str =
-        "usage: run_all [scale] [--threads N] [--mem-budget SPEC] [--grid MODE] [--no-gen-cache]";
+    const USAGE: &str = "usage: run_all [scale] [--threads N] [--mem-budget SPEC] [--grid MODE] \
+         [--no-gen-cache] [--serve]";
     while let Some(arg) = args.next() {
         if arg == "--threads" {
             let n = args.next().expect("--threads requires a value");
@@ -58,6 +65,8 @@ fn main() {
             grid = Some(mode);
         } else if arg == "--no-gen-cache" {
             gen_cache = false;
+        } else if arg == "--serve" {
+            serve = true;
         } else if arg.starts_with('-') {
             panic!("unknown flag {arg:?}; {USAGE}");
         } else if scale.is_none() {
@@ -69,9 +78,15 @@ fn main() {
     let scale = scale.unwrap_or_else(|| "1.0".to_string());
     let cache_dir =
         std::env::var("TAILORS_GEN_CACHE").unwrap_or_else(|_| "target/gen-cache".to_string());
-    let bins = [
+    let mut bins = vec![
         "table2", "fig1", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
     ];
+    let serve_args = ["--sweeps", "3", "--verify"];
+    if serve {
+        // The serving sweep rides at the end so its generation-cache hits
+        // demonstrate the cross-binary disk tier too.
+        bins.push("serve");
+    }
     for bin in bins {
         println!();
         println!("==================== {bin} ====================");
@@ -83,6 +98,9 @@ fn main() {
                 .join(bin),
         );
         cmd.arg(&scale);
+        if bin == "serve" {
+            cmd.args(serve_args);
+        }
         if let Some(t) = &threads {
             cmd.env("TAILORS_THREADS", t);
         }

@@ -18,13 +18,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod gencache;
-
-use tailors_sim::{run_balanced, ArchConfig, GridMode, MemBudget, RunMetrics, Variant};
+use tailors_sim::{run_balanced, ArchConfig, RunMetrics, Variant};
 use tailors_tensor::MatrixProfile;
 use tailors_workloads::Workload;
 
-pub use gencache::{generate_cached, profile_cached};
+// The generation caches moved to `tailors-workloads` so the serving layer
+// (`tailors-serve`) can share them without depending on the bench harness;
+// re-exported here so existing `tailors_bench::generate_cached` callers
+// keep working.
+pub use tailors_workloads::{generate_cached, profile_cached};
 
 /// Results of running all three variants on one workload.
 #[derive(Debug, Clone)]
@@ -82,58 +84,11 @@ pub fn scale_from_args() -> f64 {
     }
 }
 
-/// Worker-thread count for suite simulation: the `TAILORS_THREADS`
-/// environment variable when set (`1` = the serial path), otherwise
-/// whatever rayon advertises. Results never depend on this — workload runs
-/// are independent and collected in suite order.
-///
-/// # Panics
-///
-/// Panics if `TAILORS_THREADS` is set but not a positive integer.
-pub fn threads_from_env() -> usize {
-    match std::env::var("TAILORS_THREADS") {
-        Err(_) => rayon::current_num_threads(),
-        Ok(s) => {
-            let n: usize = s.trim().parse().unwrap_or_else(|_| {
-                panic!("TAILORS_THREADS must be a positive integer, got {s:?}")
-            });
-            assert!(n > 0, "TAILORS_THREADS must be positive");
-            n
-        }
-    }
-}
-
-/// The per-thread scratch budget for memory-governed runs: the
-/// `TAILORS_MEM_BUDGET` environment variable when set (`run_all
-/// --mem-budget` forwards it to every child binary), otherwise unbounded.
-///
-/// # Panics
-///
-/// Panics if `TAILORS_MEM_BUDGET` is set but unparseable (see
-/// [`MemBudget::parse`]).
-pub fn mem_budget_from_env() -> MemBudget {
-    match std::env::var("TAILORS_MEM_BUDGET") {
-        Err(_) => MemBudget::Unbounded,
-        Ok(s) => MemBudget::parse(&s).unwrap_or_else(|e| panic!("TAILORS_MEM_BUDGET: {e}")),
-    }
-}
-
-/// The functional grid decomposition for memory-governed runs: the
-/// `TAILORS_GRID` environment variable when set (`run_all --grid`
-/// forwards it to every child binary), otherwise the panels default.
-/// Results never depend on this — it is recorded in each run's `scratch`
-/// stats and changes only the parallel width a functional replay exposes.
-///
-/// # Panics
-///
-/// Panics if `TAILORS_GRID` is set but unparseable (see
-/// [`GridMode::parse`]).
-pub fn grid_from_env() -> GridMode {
-    match std::env::var("TAILORS_GRID") {
-        Err(_) => GridMode::default(),
-        Ok(s) => GridMode::parse(&s).unwrap_or_else(|e| panic!("TAILORS_GRID: {e}")),
-    }
-}
+// The environment-knob parsers live in `tailors-sim` next to the types
+// they produce (one definition for the figure binaries, the serving
+// sweeps, and anything else); re-exported here so existing
+// `tailors_bench::*_from_env` callers keep working.
+pub use tailors_sim::{grid_from_env, mem_budget_from_env, threads_from_env};
 
 /// The architecture used by every figure, scaled consistently.
 pub fn arch_at(scale: f64) -> ArchConfig {
@@ -154,6 +109,61 @@ pub fn profile_at(workload: &Workload, scale: f64) -> (Workload, MatrixProfile) 
 /// independent workload runs across [`threads_from_env`] worker threads.
 pub fn simulate_suite(scale: f64) -> Vec<SuiteRun> {
     simulate_suite_with_threads(scale, threads_from_env())
+}
+
+/// [`simulate_suite_with_threads`] routed through a long-lived
+/// [`SimService`](tailors_serve::SimService): one request per
+/// (workload, variant), submitted as a single cost-balanced batch, with
+/// profiles and plans answered from the service's cache tiers when hot.
+/// Output is bit-identical to the direct suite run at every thread count
+/// and for any cache state — a repeated sweep only gets *faster*, never
+/// different (`suite_results_are_identical_under_serving` pins this).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn simulate_suite_served(
+    service: &tailors_serve::SimService,
+    scale: f64,
+    threads: usize,
+) -> Vec<SuiteRun> {
+    assert!(threads > 0, "thread count must be positive");
+    let arch = arch_at(scale);
+    let budget = mem_budget_from_env();
+    let grid = grid_from_env();
+    let suite = tailors_workloads::suite();
+    let variants = [
+        Variant::ExTensorN,
+        Variant::ExTensorP,
+        Variant::default_ob(),
+    ];
+    let reqs: Vec<tailors_serve::SimRequest> = suite
+        .iter()
+        .flat_map(|wl| {
+            variants.map(|variant| tailors_serve::SimRequest {
+                workload: wl.scaled(scale),
+                variant,
+                arch,
+                budget,
+                grid,
+            })
+        })
+        .collect();
+    let responses = service.submit_batch(&reqs, threads);
+    suite
+        .iter()
+        .zip(responses.chunks(variants.len()))
+        .map(|(wl, r)| {
+            let (workload, profile) = profile_at(wl, scale);
+            SuiteRun {
+                workload,
+                profile,
+                n: r[0].metrics,
+                p: r[1].metrics,
+                ob: r[2].metrics,
+            }
+        })
+        .collect()
 }
 
 /// [`simulate_suite`] with an explicit thread count (`1` = fully serial).
@@ -260,6 +270,27 @@ mod tests {
             assert_eq!(s.speedup_ob().to_bits(), p.speedup_ob().to_bits());
             assert_eq!(s.energy_gain_p().to_bits(), p.energy_gain_p().to_bits());
         }
+    }
+
+    #[test]
+    fn suite_results_are_identical_under_serving() {
+        let scale = 1.0 / 256.0;
+        let direct = simulate_suite_with_threads(scale, 1);
+        let service = tailors_serve::SimService::new();
+        // Cold pass, then a fully plan-hot pass, at different widths:
+        // all bit-identical to the direct suite.
+        for threads in [1, 3] {
+            let served = simulate_suite_served(&service, scale, threads);
+            assert_eq!(served.len(), direct.len());
+            for (s, d) in served.iter().zip(&direct) {
+                assert_eq!(s.workload.name, d.workload.name);
+                assert_eq!(s.n, d.n, "{} threads={threads}", s.workload.name);
+                assert_eq!(s.p, d.p, "{} threads={threads}", s.workload.name);
+                assert_eq!(s.ob, d.ob, "{} threads={threads}", s.workload.name);
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.plan_hits, 66, "second pass must be fully plan-hot");
     }
 
     #[test]

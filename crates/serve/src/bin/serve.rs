@@ -1,0 +1,251 @@
+//! Drives repeated variant sweeps through the long-lived [`SimService`],
+//! demonstrating plan-hot steady state: sweep 1 pays profile + plan
+//! construction, every later sweep answers from the caches and is proven
+//! bit-identical to the first.
+//!
+//! Usage: `cargo run --release -p tailors-serve --bin serve --
+//! [scale] [--sweeps N] [--threads N] [--mem-budget SPEC] [--grid MODE]
+//! [--verify] [--smoke-functional]`
+//!
+//! The batch is the full 22-workload suite × the three variants at
+//! `scale` (default 1.0), submitted through
+//! [`SimService::submit_batch`]'s cost-balanced LPT scheduler. `--threads`
+//! falls back to `TAILORS_THREADS`, `--mem-budget` to
+//! `TAILORS_MEM_BUDGET`, and `--grid` to `TAILORS_GRID`, so `run_all
+//! --serve` reaches this binary with the same knobs as every other child.
+//!
+//! `--verify` additionally recomputes every response cold — a direct
+//! `Variant::run_gridded` on a freshly built profile — and asserts
+//! bit-identical metrics. `--smoke-functional` runs a batch of mixed
+//! variants *functionally* on a 50 000-column tensor through the service
+//! and diffs each result against the seed engine
+//! (`functional::reference_run`) under the identical configuration.
+
+use std::time::Instant;
+
+use tailors_serve::{FunctionalRequest, SimRequest, SimService};
+use tailors_sim::functional::reference_run;
+use tailors_sim::{
+    grid_from_env, mem_budget_from_env, threads_from_env, ArchConfig, GridMode, MemBudget, Variant,
+};
+use tailors_workloads::{Workload, WorkloadClass};
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut sweeps = 3usize;
+    let mut threads: Option<usize> = None;
+    let mut budget: Option<MemBudget> = None;
+    let mut grid: Option<GridMode> = None;
+    let mut verify = false;
+    let mut smoke_functional = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--sweeps" => {
+                sweeps = next("--sweeps")
+                    .parse()
+                    .expect("--sweeps: positive integer")
+            }
+            "--threads" => {
+                threads = Some(
+                    next("--threads")
+                        .parse()
+                        .expect("--threads: positive integer"),
+                )
+            }
+            "--mem-budget" => {
+                budget = Some(MemBudget::parse(&next("--mem-budget")).expect("--mem-budget"))
+            }
+            "--grid" => grid = Some(GridMode::parse(&next("--grid")).expect("--grid")),
+            "--verify" => verify = true,
+            "--smoke-functional" => smoke_functional = true,
+            other if !other.starts_with('-') => {
+                scale = other.parse().expect("scale: a number in (0, 1]");
+                assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+            }
+            other => panic!("unknown argument {other:?}; see the module docs"),
+        }
+    }
+    assert!(sweeps > 0, "--sweeps must be positive");
+    let threads = threads.unwrap_or_else(threads_from_env);
+    let budget = budget.unwrap_or_else(mem_budget_from_env);
+    let grid = grid.unwrap_or_else(grid_from_env);
+
+    let variants = [
+        Variant::ExTensorN,
+        Variant::ExTensorP,
+        Variant::default_ob(),
+    ];
+    let arch = ArchConfig::extensor().scaled(scale);
+    let batch: Vec<SimRequest> = tailors_workloads::suite()
+        .iter()
+        .flat_map(|wl| {
+            variants.map(|variant| SimRequest {
+                workload: wl.scaled(scale),
+                variant,
+                arch,
+                budget,
+                grid,
+            })
+        })
+        .collect();
+    println!(
+        "serve: {} requests/sweep ({} workloads x {} variants) at scale {scale}, \
+         {threads} threads, budget {budget}, grid {grid}",
+        batch.len(),
+        batch.len() / variants.len(),
+        variants.len(),
+    );
+
+    let service = SimService::new();
+    let mut first: Option<Vec<tailors_serve::SimResponse>> = None;
+    for sweep in 1..=sweeps {
+        let before = service.stats();
+        let t = Instant::now();
+        let responses = service.submit_batch(&batch, threads);
+        let elapsed = t.elapsed();
+        let after = service.stats();
+        println!(
+            "sweep {sweep}: {elapsed:.2?}  (profile {} hit / {} miss, plan {} hit / {} miss)",
+            after.profile_hits - before.profile_hits,
+            after.profile_misses - before.profile_misses,
+            after.plan_hits - before.plan_hits,
+            after.plan_misses - before.plan_misses,
+        );
+        match &first {
+            None => {
+                // Steady state starts at sweep 2: every tier hot.
+                first = Some(responses);
+            }
+            Some(cold) => {
+                assert!(
+                    responses.iter().all(|r| r.hits.profile && r.hits.plan),
+                    "steady-state sweeps must hit the profile and plan tiers"
+                );
+                for (c, h) in cold.iter().zip(&responses) {
+                    assert_eq!(c.name, h.name);
+                    assert_eq!(
+                        c.metrics, h.metrics,
+                        "{}: hot response diverged from cold",
+                        c.name
+                    );
+                }
+            }
+        }
+    }
+    let stats = service.stats();
+    println!(
+        "steady state: plan hit rate {:.1} %, profile hit rate {:.1} % over {} requests",
+        100.0 * stats.plan_hit_rate(),
+        100.0 * stats.profile_hit_rate(),
+        stats.requests,
+    );
+
+    if verify {
+        println!("verify: diffing every served response against a cold Variant run ...");
+        let t = Instant::now();
+        let responses = first.as_ref().expect("at least one sweep ran");
+        // The batch is grouped per workload (one request per variant), so
+        // the O(nnz) profiling pass runs once per workload, not per
+        // request.
+        for (reqs, resps) in batch
+            .chunks(variants.len())
+            .zip(responses.chunks(variants.len()))
+        {
+            let profile = tailors_workloads::generate_cached(&reqs[0].workload).profile();
+            for (req, resp) in reqs.iter().zip(resps) {
+                let direct = req
+                    .variant
+                    .run_gridded(&profile, &req.arch, req.budget, req.grid);
+                assert_eq!(
+                    resp.metrics,
+                    direct,
+                    "{} / {}: served metrics diverged from the direct run",
+                    req.workload.name,
+                    req.variant.name()
+                );
+            }
+        }
+        println!(
+            "verify: all {} responses bit-identical ({:.2?})",
+            batch.len(),
+            t.elapsed()
+        );
+    }
+
+    if smoke_functional {
+        functional_smoke(threads, budget, grid);
+    }
+    println!("OK");
+}
+
+/// The CI serving smoke: a batch of mixed variants executed *functionally*
+/// at 50 000 columns through the service, each result diffed against the
+/// seed engine under the identical derived configuration.
+fn functional_smoke(threads: usize, budget: MemBudget, grid: GridMode) {
+    let workload = Workload {
+        name: "serve-smoke-50k",
+        nrows: 50_000,
+        ncols: 50_000,
+        target_nnz: 300_000,
+        class: WorkloadClass::Graph,
+        paper_sparsity: 1.0 - 300_000.0 / (50_000.0 * 50_000.0),
+        variability: 0.5,
+        seed: 77,
+    };
+    // A 1/64-scaled architecture keeps tile plans small enough that the
+    // overbooked variant actually overbooks at this occupancy.
+    let arch = ArchConfig::extensor().scaled(1.0 / 64.0);
+    let budget = match budget {
+        // The suite sweep above may run unbounded; the functional engine
+        // at 50 k columns must not (a full-width panel scratch would be
+        // gigabytes), so floor the smoke at 256 MiB.
+        MemBudget::Unbounded => MemBudget::mib(256),
+        bounded => bounded,
+    };
+    println!(
+        "functional smoke: {} x {} tensor, mixed variants, budget {budget}, grid {grid}",
+        workload.nrows, workload.ncols
+    );
+    let service = SimService::new();
+    let a = tailors_workloads::generate_cached(&workload);
+    for variant in [
+        Variant::ExTensorN,
+        Variant::ExTensorP,
+        Variant::default_ob(),
+    ] {
+        let req = FunctionalRequest {
+            workload: workload.clone(),
+            variant,
+            arch,
+            budget,
+            grid,
+            threads,
+        };
+        let t = Instant::now();
+        let served = service.run_functional(&req).expect("served functional run");
+        let served_time = t.elapsed();
+        let t = Instant::now();
+        let oracle = reference_run(&a, &served.config).expect("seed engine run");
+        println!(
+            "  {}: served {served_time:.2?} (tiling {} x {}), seed engine {:.2?}, z nnz {}",
+            variant.name(),
+            served.config.rows_a,
+            served.config.cols_b,
+            t.elapsed(),
+            served.result.z.nnz(),
+        );
+        assert_eq!(
+            served.result,
+            oracle,
+            "{}: served functional result diverged from reference_run",
+            variant.name()
+        );
+    }
+    println!("functional smoke: all variants bit-identical to reference_run");
+}

@@ -1,0 +1,118 @@
+//! Determinism under concurrency: N clients hammering one shared
+//! [`SimService`] with overlapping batches — at batch widths 1, 4, and 8
+//! worker threads — receive response payloads bit-identical to a fully
+//! serial execution on a cold service. Cache state, eviction history,
+//! client interleaving, and fan-out width must all be invisible in the
+//! payload (the `hits` observability flags are explicitly *not* part of
+//! the contract; see `CacheHits`).
+
+use std::sync::Arc;
+
+use tailors_serve::{SimRequest, SimResponse, SimService};
+use tailors_sim::{GridMode, MemBudget, Variant};
+
+const SCALE: f64 = 1.0 / 256.0;
+const CLIENTS: usize = 4;
+
+/// The shared request stream: 8 workloads × 3 variants with budgets and
+/// grids cycled deterministically, so tight-budget and 2-D-grid requests
+/// are part of the overlap.
+fn batch() -> Vec<SimRequest> {
+    let names = [
+        "cant",
+        "email-Enron",
+        "pdb1HYS",
+        "rma10",
+        "soc-Epinions1",
+        "p2p-Gnutella31",
+        "webbase-1M",
+        "roadNet-CA",
+    ];
+    let variants = [
+        Variant::ExTensorN,
+        Variant::ExTensorP,
+        Variant::default_ob(),
+    ];
+    names
+        .iter()
+        .enumerate()
+        .flat_map(|(i, name)| {
+            variants.into_iter().enumerate().map(move |(j, variant)| {
+                let mut req = SimRequest::suite(name, SCALE, variant).expect("suite workload");
+                if (i + j) % 2 == 0 {
+                    req.budget = MemBudget::bytes(64 << 10);
+                }
+                if j % 2 == 1 {
+                    req.grid = GridMode::Grid2D;
+                }
+                req
+            })
+        })
+        .collect()
+}
+
+fn assert_same_payload(a: &SimResponse, b: &SimResponse, context: &str) {
+    assert_eq!(a.name, b.name, "{context}");
+    assert_eq!(a.metrics, b.metrics, "{context}: {}", a.name);
+    assert_eq!(
+        a.metrics.cycles.to_bits(),
+        b.metrics.cycles.to_bits(),
+        "{context}: {} cycles bits",
+        a.name
+    );
+    assert_eq!(
+        a.metrics.energy_pj.to_bits(),
+        b.metrics.energy_pj.to_bits(),
+        "{context}: {} energy bits",
+        a.name
+    );
+}
+
+#[test]
+fn concurrent_clients_match_serial_execution_at_every_width() {
+    let reqs = batch();
+    // Ground truth: a cold service, fully serial submission.
+    let serial = SimService::new().submit_batch(&reqs, 1);
+
+    for threads in [1usize, 4, 8] {
+        let service = Arc::new(SimService::new());
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let service = Arc::clone(&service);
+                let reqs = reqs.clone();
+                std::thread::spawn(move || {
+                    // Each client rotates the stream so clients race on
+                    // *different* requests at any instant while every
+                    // request is still served by every client.
+                    let start = client * 7 % reqs.len();
+                    let rotated: Vec<SimRequest> = reqs[start..]
+                        .iter()
+                        .chain(&reqs[..start])
+                        .cloned()
+                        .collect();
+                    (start, service.submit_batch(&rotated, threads))
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (start, responses) = handle.join().expect("client thread");
+            assert_eq!(responses.len(), serial.len());
+            for (i, resp) in responses.iter().enumerate() {
+                let serial_idx = (start + i) % serial.len();
+                assert_same_payload(
+                    resp,
+                    &serial[serial_idx],
+                    &format!("threads={threads} client-rotation={start}"),
+                );
+            }
+        }
+        // Overlap really happened: every request was served by every
+        // client against one shared cache.
+        let stats = service.stats();
+        assert_eq!(stats.requests, (CLIENTS * reqs.len()) as u64);
+        assert!(
+            stats.plan_hits > 0,
+            "overlapping clients must share cached plans"
+        );
+    }
+}

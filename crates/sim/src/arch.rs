@@ -159,6 +159,66 @@ impl ArchConfig {
         let need = (2.0 * self.gb_latency_cycles as f64 * per_pe_fill).ceil() as u64;
         need.max(1).min(self.pe_operand_capacity() / 2).max(1)
     }
+
+    /// A hashable identity for this configuration, for keying caches of
+    /// derived artifacts (tile plans, execution plans, run metrics).
+    ///
+    /// Two configurations produce equal keys iff every field is equal
+    /// (floating-point fields compare by bit pattern, so `NaN`s are equal
+    /// to themselves and `-0.0 != 0.0` — the conservative choice for a
+    /// cache key). `ArchConfig` itself cannot implement `Eq`/`Hash`
+    /// because of those `f64` fields; the serving layer keys its plan tier
+    /// by this instead.
+    pub fn cache_key(&self) -> ArchKey {
+        // Exhaustive destructuring (no `..`): adding a field to
+        // `ArchConfig` fails to compile here until the key learns about
+        // it — a silently incomplete key would let caches serve one
+        // architecture's plans for another.
+        let ArchConfig {
+            gb_bytes,
+            pe_buf_bytes,
+            pe_count,
+            bytes_per_element,
+            dram_bytes_per_cycle,
+            gb_elems_per_cycle,
+            isect_coords_per_cycle,
+            macs_per_pe_per_cycle,
+            operand_fraction,
+            dram_latency_cycles,
+            gb_latency_cycles,
+        } = *self;
+        ArchKey {
+            gb_bytes,
+            pe_buf_bytes,
+            pe_count,
+            bytes_per_element,
+            dram_bytes_per_cycle: dram_bytes_per_cycle.to_bits(),
+            gb_elems_per_cycle: gb_elems_per_cycle.to_bits(),
+            isect_coords_per_cycle: isect_coords_per_cycle.to_bits(),
+            macs_per_pe_per_cycle: macs_per_pe_per_cycle.to_bits(),
+            operand_fraction: operand_fraction.to_bits(),
+            dram_latency_cycles,
+            gb_latency_cycles,
+        }
+    }
+}
+
+/// The cacheable identity of an [`ArchConfig`] (see
+/// [`ArchConfig::cache_key`]): every field, with `f64`s captured by bit
+/// pattern so the key is `Eq + Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchKey {
+    gb_bytes: u64,
+    pe_buf_bytes: u64,
+    pe_count: u64,
+    bytes_per_element: u64,
+    dram_bytes_per_cycle: u64,
+    gb_elems_per_cycle: u64,
+    isect_coords_per_cycle: u64,
+    macs_per_pe_per_cycle: u64,
+    operand_fraction: u64,
+    dram_latency_cycles: u64,
+    gb_latency_cycles: u64,
 }
 
 impl Default for ArchConfig {
@@ -189,6 +249,17 @@ mod tests {
         assert!(a.gb_fifo_region() <= a.gb_operand_capacity() / 2);
         assert!(a.pe_fifo_region() >= 1);
         assert!(a.pe_fifo_region() <= a.pe_operand_capacity() / 2);
+    }
+
+    #[test]
+    fn cache_key_tracks_field_identity() {
+        let a = ArchConfig::extensor();
+        assert_eq!(a.cache_key(), ArchConfig::extensor().cache_key());
+        assert_ne!(a.cache_key(), a.scaled(0.5).cache_key());
+        let mut b = a;
+        b.dram_bytes_per_cycle += 1.0;
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), ArchConfig::tiny(1000, 100).cache_key());
     }
 
     #[test]

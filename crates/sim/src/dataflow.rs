@@ -81,6 +81,33 @@ pub fn simulate_gridded(
     budget: MemBudget,
     grid: GridMode,
 ) -> RunMetrics {
+    let plan = plan.normalized(profile.nrows());
+    let exec = ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &plan, budget);
+    simulate_planned(profile, arch, plan, &exec, grid)
+}
+
+/// [`simulate_gridded`] with the execution plan precomputed: the pure
+/// simulation function all the `simulate*` entry points (and
+/// [`Variant::run_planned`](crate::variants::Variant::run_planned))
+/// bottom out in.
+///
+/// `exec` must be the plan [`simulate_gridded`] would derive —
+/// `ExecutionPlan::for_tile_plan(nrows, ncols, &plan.normalized(nrows),
+/// budget)` — which callers like `tailors-serve` cache keyed by (matrix
+/// identity, variant, architecture, budget) so a hot request performs no
+/// planning at all. Checked in debug builds.
+///
+/// # Panics
+///
+/// As [`simulate`]; additionally (debug builds) if `exec` disagrees with
+/// the plan derived from `plan`.
+pub fn simulate_planned(
+    profile: &MatrixProfile,
+    arch: &ArchConfig,
+    plan: TilePlan,
+    exec: &ExecutionPlan,
+    grid: GridMode,
+) -> RunMetrics {
     assert_eq!(
         profile.nrows(),
         profile.ncols(),
@@ -88,6 +115,11 @@ pub fn simulate_gridded(
     );
     assert!(profile.nnz() > 0, "cannot simulate an empty tensor");
     let plan = plan.normalized(profile.nrows());
+    debug_assert_eq!(
+        *exec,
+        ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &plan, exec.budget()),
+        "exec plan must be derived from the tile plan it is simulated with"
+    );
     let nnz = profile.nnz() as u128;
 
     let n_a = profile.nrows().div_ceil(plan.gb_rows_a) as u128;
@@ -270,8 +302,7 @@ pub fn simulate_gridded(
     };
 
     let energy = EnergyModel::for_arch(arch);
-    let scratch = ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &plan, budget)
-        .scratch_stats(grid);
+    let scratch = exec.scratch_stats(grid);
     RunMetrics {
         cycles,
         energy_pj: energy.total_pj(&counts),

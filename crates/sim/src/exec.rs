@@ -126,6 +126,39 @@ impl core::fmt::Display for MemBudget {
     }
 }
 
+/// The per-thread scratch budget from the `TAILORS_MEM_BUDGET`
+/// environment variable (`run_all --mem-budget` forwards it to every
+/// child binary), or [`MemBudget::Unbounded`] when unset. The single
+/// definition every binary layer (bench figures, serving sweeps) parses
+/// this knob through.
+///
+/// # Panics
+///
+/// Panics if `TAILORS_MEM_BUDGET` is set but unparseable (see
+/// [`MemBudget::parse`]).
+pub fn mem_budget_from_env() -> MemBudget {
+    match std::env::var("TAILORS_MEM_BUDGET") {
+        Err(_) => MemBudget::Unbounded,
+        Ok(s) => MemBudget::parse(&s).unwrap_or_else(|e| panic!("TAILORS_MEM_BUDGET: {e}")),
+    }
+}
+
+/// The functional grid decomposition from the `TAILORS_GRID` environment
+/// variable (`run_all --grid` forwards it the same way), or the panels
+/// default when unset. Results never depend on this — it only changes
+/// the parallel width a functional replay exposes.
+///
+/// # Panics
+///
+/// Panics if `TAILORS_GRID` is set but unparseable (see
+/// [`GridMode::parse`]).
+pub fn grid_from_env() -> GridMode {
+    match std::env::var("TAILORS_GRID") {
+        Err(_) => GridMode::default(),
+        Ok(s) => GridMode::parse(&s).unwrap_or_else(|e| panic!("TAILORS_GRID: {e}")),
+    }
+}
+
 /// How the functional engine decomposes an [`ExecutionPlan`] across worker
 /// threads.
 ///

@@ -48,11 +48,33 @@ pub mod metrics;
 pub mod plan;
 pub mod variants;
 
-pub use arch::ArchConfig;
-pub use dataflow::{simulate, simulate_budgeted, simulate_gridded};
+pub use arch::{ArchConfig, ArchKey};
+pub use dataflow::{simulate, simulate_budgeted, simulate_gridded, simulate_planned};
 pub use exec::{
-    balanced_partition, run_balanced, ExecutionPlan, GridMode, MemBudget, PlanUnit, ScratchStats,
+    balanced_partition, grid_from_env, mem_budget_from_env, run_balanced, ExecutionPlan, GridMode,
+    MemBudget, PlanUnit, ScratchStats,
 };
+
+/// Worker-thread count from the `TAILORS_THREADS` environment variable
+/// when set (`1` = the serial path), otherwise whatever rayon advertises.
+/// Results never depend on this — every fan-out in the workspace
+/// reassembles in item order.
+///
+/// # Panics
+///
+/// Panics if `TAILORS_THREADS` is set but not a positive integer.
+pub fn threads_from_env() -> usize {
+    match std::env::var("TAILORS_THREADS") {
+        Err(_) => rayon::current_num_threads(),
+        Ok(s) => {
+            let n: usize = s.trim().parse().unwrap_or_else(|_| {
+                panic!("TAILORS_THREADS must be a positive integer, got {s:?}")
+            });
+            assert!(n > 0, "TAILORS_THREADS must be positive");
+            n
+        }
+    }
+}
 
 /// Runs `f` with a rayon pool of exactly `threads` workers active: the
 /// ambient pool when it already has that width (no setup cost), otherwise
@@ -72,4 +94,4 @@ pub fn in_thread_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> 
 pub use energy::{ActivityCounts, EnergyModel};
 pub use metrics::{DramBreakdown, ReuseStats, RunMetrics};
 pub use plan::TilePlan;
-pub use variants::Variant;
+pub use variants::{Variant, VariantKey};

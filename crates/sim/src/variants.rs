@@ -7,7 +7,7 @@ use tailors_core::TilingStrategy;
 use tailors_tensor::MatrixProfile;
 
 use crate::arch::ArchConfig;
-use crate::dataflow::{simulate, simulate_gridded};
+use crate::dataflow::{simulate, simulate_gridded, simulate_planned};
 use crate::exec::{ExecutionPlan, GridMode, MemBudget};
 use crate::metrics::RunMetrics;
 use crate::plan::TilePlan;
@@ -33,10 +33,44 @@ pub enum Variant {
     },
 }
 
+/// The cacheable identity of a [`Variant`] (see [`Variant::cache_key`]):
+/// the discriminant plus, for the overbooked variant, `y` by bit pattern
+/// and `k` — so the key is `Eq + Hash` even though `Variant` carries an
+/// `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariantKey {
+    /// [`Variant::ExTensorN`].
+    N,
+    /// [`Variant::ExTensorP`].
+    P,
+    /// [`Variant::ExTensorOB`] with `y` captured via `f64::to_bits`.
+    Ob {
+        /// Bit pattern of the target overbooking rate.
+        y_bits: u64,
+        /// Swiftiles sample parameter.
+        k: usize,
+    },
+}
+
 impl Variant {
     /// The paper's default overbooked configuration (`y = 10 %, k = 10`).
     pub fn default_ob() -> Self {
         Variant::ExTensorOB { y: 0.10, k: 10 }
+    }
+
+    /// A hashable identity for this variant, for keying caches of derived
+    /// artifacts (tile plans, execution plans, run metrics). Two variants
+    /// produce equal keys iff they plan identically (`y` compares by bit
+    /// pattern).
+    pub fn cache_key(&self) -> VariantKey {
+        match self {
+            Variant::ExTensorN => VariantKey::N,
+            Variant::ExTensorP => VariantKey::P,
+            Variant::ExTensorOB { y, k } => VariantKey::Ob {
+                y_bits: y.to_bits(),
+                k: *k,
+            },
+        }
     }
 
     /// Short display name.
@@ -157,6 +191,35 @@ impl Variant {
     ) -> RunMetrics {
         simulate_gridded(profile, arch, self.plan(profile, arch), budget, grid)
     }
+
+    /// [`Variant::run_gridded`] with the planning stages precomputed: the
+    /// tile plan (`tile`, from [`Variant::plan`] — the expensive stage for
+    /// the Swiftiles-governed variant, which samples occupancies) and the
+    /// memory-governed execution plan (`exec`, from
+    /// [`Variant::execution_plan`] with the same budget).
+    ///
+    /// This is the cache-consumer entry point: given the same profile and
+    /// plans, it is a pure function, bit-identical to
+    /// [`Variant::run_gridded`] — `tailors-serve` keys both plans by
+    /// (matrix identity, [`Variant::cache_key`],
+    /// [`ArchConfig::cache_key`](crate::arch::ArchConfig::cache_key),
+    /// budget) and replays them here, skipping plan construction on hot
+    /// requests.
+    ///
+    /// # Panics
+    ///
+    /// As [`simulate_planned`]; additionally (debug builds) if `exec` was
+    /// not derived from `tile` under `exec.budget()`.
+    pub fn run_planned(
+        &self,
+        profile: &MatrixProfile,
+        arch: &ArchConfig,
+        tile: &TilePlan,
+        exec: &ExecutionPlan,
+        grid: GridMode,
+    ) -> RunMetrics {
+        simulate_planned(profile, arch, *tile, exec, grid)
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +275,52 @@ mod tests {
             plan_p.gb_rows_a
         );
         assert!(plan_ob.overbooking);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_variants() {
+        assert_eq!(
+            Variant::ExTensorN.cache_key(),
+            Variant::ExTensorN.cache_key()
+        );
+        assert_ne!(
+            Variant::ExTensorN.cache_key(),
+            Variant::ExTensorP.cache_key()
+        );
+        assert_eq!(
+            Variant::default_ob().cache_key(),
+            Variant::ExTensorOB { y: 0.10, k: 10 }.cache_key()
+        );
+        assert_ne!(
+            Variant::default_ob().cache_key(),
+            Variant::ExTensorOB { y: 0.20, k: 10 }.cache_key()
+        );
+        assert_ne!(
+            Variant::default_ob().cache_key(),
+            Variant::ExTensorOB { y: 0.10, k: 11 }.cache_key()
+        );
+    }
+
+    #[test]
+    fn run_planned_replays_cached_plans_bit_identically() {
+        let p = profile();
+        let arch = ArchConfig::extensor();
+        let budget = MemBudget::mib(64);
+        for v in [
+            Variant::ExTensorN,
+            Variant::ExTensorP,
+            Variant::default_ob(),
+        ] {
+            for grid in [GridMode::Panels, GridMode::Grid2D] {
+                let direct = v.run_gridded(&p, &arch, budget, grid);
+                let tile = v.plan(&p, &arch);
+                let exec = v.execution_plan(&p, &arch, budget);
+                let replayed = v.run_planned(&p, &arch, &tile, &exec, grid);
+                assert_eq!(direct, replayed, "{} {grid}", v.name());
+                assert_eq!(direct.cycles.to_bits(), replayed.cycles.to_bits());
+                assert_eq!(direct.energy_pj.to_bits(), replayed.energy_pj.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -410,6 +410,48 @@ impl CsrMatrix {
         }
     }
 
+    /// A stable 64-bit content hash of the matrix: shape, structure, and
+    /// exact value bit patterns.
+    ///
+    /// Two matrices hash equal iff they are `==` (up to the usual 64-bit
+    /// collision caveat), and the hash is *stable*: it depends only on the
+    /// matrix contents (FNV-1a over a fixed little-endian serialization),
+    /// never on allocation addresses, hasher seeds, process, or platform —
+    /// so it can key long-lived caches (the serving layer keys its profile
+    /// and execution-plan tiers by it) and be compared across runs.
+    ///
+    /// Cost is one linear pass over the stored structure; callers that
+    /// look up the same matrix repeatedly should hash once and reuse the
+    /// key (see `tailors-serve`'s `MatrixId`).
+    pub fn content_hash(&self) -> u64 {
+        // FNV-1a, 64-bit. Explicit constants rather than `DefaultHasher`:
+        // the std hasher is seeded per-process and its algorithm is not
+        // stability-guaranteed, either of which would silently break
+        // cross-run cache keys.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.nrows as u64).to_le_bytes());
+        eat(&(self.ncols as u64).to_le_bytes());
+        eat(&(self.nnz() as u64).to_le_bytes());
+        for &p in &self.row_ptr {
+            eat(&(p as u64).to_le_bytes());
+        }
+        for &c in &self.col_idx {
+            eat(&c.to_le_bytes());
+        }
+        for &v in &self.vals {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Raw row-pointer array (length `nrows + 1`).
     pub fn row_ptr(&self) -> &[usize] {
         &self.row_ptr
@@ -675,6 +717,46 @@ mod tests {
         let p = m.profile();
         let per_row: Vec<u32> = (0..m.nrows()).map(|r| m.row_nnz(r) as u32).collect();
         assert_eq!(p.row_nnz(), per_row.as_slice());
+    }
+
+    #[test]
+    fn content_hash_tracks_equality_and_is_pinned() {
+        let m = small();
+        assert_eq!(m.content_hash(), m.clone().content_hash());
+        // Structure-only change.
+        let moved = CsrMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 1, 1.0),
+                (0, 3, 2.0),
+                (1, 0, 3.0),
+                (2, 1, 4.0), // was (2, 2, 4.0)
+                (2, 3, 5.0),
+            ],
+        )
+        .unwrap();
+        assert_ne!(m.content_hash(), moved.content_hash());
+        // Value-only change (same structure).
+        let revalued = CsrMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 1, 1.0),
+                (0, 3, 2.0),
+                (1, 0, 3.0),
+                (2, 2, 4.5),
+                (2, 3, 5.0),
+            ],
+        )
+        .unwrap();
+        assert_ne!(m.content_hash(), revalued.content_hash());
+        // Shape-only change (same triplets, wider matrix).
+        let wider = CsrMatrix::from_triplets(3, 5, &m.iter().collect::<Vec<_>>()).unwrap();
+        assert_ne!(m.content_hash(), wider.content_hash());
+        // Pinned literal: this hash keys on-disk and cross-run caches, so a
+        // change here is a cache-format break and must be deliberate.
+        assert_eq!(small().content_hash(), 0x05fc_2914_4165_d3d1);
     }
 
     #[test]

@@ -26,7 +26,8 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 use tailors_tensor::{CsrMatrix, MatrixProfile};
-use tailors_workloads::Workload;
+
+use crate::Workload;
 
 /// Disk-format magic: bump when the layout (or the generators whose output
 /// it snapshots) changes incompatibly.
@@ -227,9 +228,7 @@ mod tests {
 
     #[test]
     fn memory_cache_shares_but_never_pins() {
-        let wl = tailors_workloads::by_name("email-Enron")
-            .unwrap()
-            .scaled(1.0 / 512.0);
+        let wl = crate::by_name("email-Enron").unwrap().scaled(1.0 / 512.0);
         let a = generate_cached(&wl);
         let b = generate_cached(&wl);
         assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
@@ -247,9 +246,7 @@ mod tests {
 
     #[test]
     fn profile_cache_is_strong_and_shared() {
-        let wl = tailors_workloads::by_name("cant")
-            .unwrap()
-            .scaled(1.0 / 512.0);
+        let wl = crate::by_name("cant").unwrap().scaled(1.0 / 512.0);
         let p1 = profile_cached(&wl);
         let p2 = profile_cached(&wl);
         assert!(Arc::ptr_eq(&p1, &p2));
@@ -258,9 +255,7 @@ mod tests {
 
     #[test]
     fn disk_roundtrip_is_lossless_and_validates() {
-        let wl = tailors_workloads::by_name("pdb1HYS")
-            .unwrap()
-            .scaled(1.0 / 512.0);
+        let wl = crate::by_name("pdb1HYS").unwrap().scaled(1.0 / 512.0);
         let t = wl.generate();
         let dir = std::env::temp_dir().join(format!("tgc-test-{}", std::process::id()));
         store_tensor(&t, &dir, "roundtrip.tgc").unwrap();

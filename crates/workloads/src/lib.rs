@@ -28,8 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gencache;
+
 use tailors_tensor::gen::{GenSpec, Structure};
 use tailors_tensor::CsrMatrix;
+
+pub use gencache::{generate_cached, profile_cached};
 
 /// Structural family of a workload tensor (Table 2 is split into these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -4,6 +4,7 @@
 
 pub use tailors_core as core;
 pub use tailors_eddo as eddo;
+pub use tailors_serve as serve;
 pub use tailors_sim as sim;
 pub use tailors_tensor as tensor;
 pub use tailors_workloads as workloads;
