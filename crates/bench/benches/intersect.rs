@@ -89,6 +89,7 @@ fn bench_spmspm(c: &mut Criterion) {
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
         grid: GridMode::Panels,
+        auto_plan: false,
     };
     // The parallel row runs the full 2-D (panel × block) grid: a 1 MiB
     // budget groups the 256-col tiles in pairs (4 blocks × 8 panels = 32
@@ -97,6 +98,7 @@ fn bench_spmspm(c: &mut Criterion) {
     let grid_config = FunctionalConfig {
         mem_budget: MemBudget::bytes(256 * 512 * 8),
         grid: GridMode::Grid2D,
+        auto_plan: false,
         ..config
     };
     // Before: the seed engine (tile materialization + per-element searches
@@ -112,6 +114,58 @@ fn bench_spmspm(c: &mut Criterion) {
     // After, pinned serial: the deterministic --threads 1 panels path.
     g.bench_function("functional_engine_serial_a_at_2k", |bch| {
         bch.iter(|| black_box(run_with_threads(&a, &config, 1).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    // The budget-aware auto planner vs the fixed-height plan it replaces,
+    // at a tight (64 KiB) scratch budget on the 2 k point with 32-column
+    // streamed tiles: the fixed 256-row panels overbook the 2048-slot
+    // operand buffer and leave 63 single-tile column blocks, so every
+    // output row is drained 63 times; the cost model halves the panels
+    // (128 rows), which doubles the block width (32 blocks), stops the
+    // overbooking, and fits the budget exactly. Both runs are
+    // bit-identical to `reference_run` at their own tiling — the rows
+    // measure what the plan *shape* costs.
+    let a = GenSpec::power_law(2_000, 2_000, 20_000).seed(3).generate();
+    let fixed = FunctionalConfig {
+        capacity: 2_048,
+        fifo_region: 256,
+        rows_a: 256,
+        cols_b: 32,
+        overbooking: true,
+        mem_budget: MemBudget::bytes(64 << 10),
+        grid: GridMode::Panels,
+        auto_plan: false,
+    };
+    let auto = FunctionalConfig {
+        auto_plan: true,
+        ..fixed
+    };
+    let fixed_plan = fixed.execution_plan(a.nrows(), a.ncols());
+    let auto_plan = tailors_sim::functional::auto_execution_plan(&a, &auto);
+    println!(
+        "planner/auto_vs_fixed at 64KiB: fixed {} rows x {} blocks \
+         ({} row-drain passes) -> auto {} rows x {} blocks ({} passes)",
+        fixed_plan.rows_a(),
+        fixed_plan.n_col_blocks(),
+        a.nrows() * fixed_plan.n_col_blocks(),
+        auto_plan.rows_a(),
+        auto_plan.n_col_blocks(),
+        a.nrows() * auto_plan.n_col_blocks(),
+    );
+    assert!(
+        auto_plan.n_col_blocks() < fixed_plan.n_col_blocks(),
+        "the auto planner must strictly reduce extraction passes here"
+    );
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(10);
+    g.bench_function("auto_vs_fixed_fixed_64KiB_2k", |bch| {
+        bch.iter(|| black_box(run_with_threads(&a, &fixed, 1).unwrap()))
+    });
+    g.bench_function("auto_vs_fixed_auto_64KiB_2k", |bch| {
+        bch.iter(|| black_box(run_with_threads(&a, &auto, 1).unwrap()))
     });
     g.finish();
 }
@@ -195,6 +249,7 @@ fn bench_serving(c: &mut Criterion) {
                 arch,
                 budget: MemBudget::Unbounded,
                 grid: GridMode::Panels,
+                auto_plan: false,
             })
         })
         .collect();
@@ -224,6 +279,7 @@ criterion_group!(
     benches,
     bench_intersection,
     bench_spmspm,
+    bench_planner,
     bench_simulator,
     bench_suite,
     bench_serving

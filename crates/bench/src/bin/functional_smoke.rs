@@ -5,12 +5,21 @@
 //!
 //! Usage: `cargo run --release -p tailors-bench --bin functional_smoke --
 //! [--cols N] [--nnz N] [--rows-a N] [--cols-b N] [--auto-tile]
-//! [--mem-budget SPEC] [--grid MODE] [--threads N] [--verify]`
+//! [--auto-plan] [--mem-budget SPEC] [--grid MODE] [--threads N]
+//! [--verify]`
 //!
 //! `--auto-tile` replaces the explicit `--rows-a`/`--cols-b` tiling with
 //! the one a Swiftiles-governed strategy picks for the paper architecture
 //! (`ExecutionPlan::from_strategy` over `TilingStrategy::Overbooked`),
 //! i.e. the same planning path the hardware variants use.
+//!
+//! `--auto-plan` (fallback: `TAILORS_AUTO_PLAN`, so `run_all --auto-plan`
+//! reaches this binary) hands the panel height to the budget-aware
+//! [`AutoPlanner`](tailors_sim::AutoPlanner) instead: `--rows-a` becomes
+//! the baseline candidate and the engine runs whatever height minimizes
+//! the closed-form traffic model under the budget. `--verify` then diffs
+//! against the seed engine at the *chosen* tiling — the auto run must be
+//! bit-identical to a fixed run there in every reported field.
 //!
 //! Defaults reproduce the CI acceptance point: a 50 000-column power-law
 //! tensor under a 256 MiB per-thread scratch budget. Unbudgeted, one
@@ -38,6 +47,7 @@ fn main() {
     let mut rows_a = 4_096usize;
     let mut cols_b = 2_048usize;
     let mut auto_tile = false;
+    let mut auto_plan = false;
     let mut budget: Option<MemBudget> = None;
     let mut grid: Option<GridMode> = None;
     let mut threads: Option<usize> = None;
@@ -63,6 +73,7 @@ fn main() {
                     .expect("--cols-b: positive integer")
             }
             "--auto-tile" => auto_tile = true,
+            "--auto-plan" => auto_plan = true,
             "--mem-budget" => {
                 budget = Some(MemBudget::parse(&next("--mem-budget")).expect("--mem-budget"))
             }
@@ -85,6 +96,7 @@ fn main() {
     });
     let grid = grid.unwrap_or_else(grid_from_env);
     let threads = threads.unwrap_or_else(threads_from_env);
+    let auto_plan = auto_plan || tailors_bench::auto_plan_from_env();
 
     println!("generating {cols} x {cols} power-law tensor, target nnz {nnz} ...");
     let t0 = Instant::now();
@@ -112,8 +124,21 @@ fn main() {
         overbooking: true,
         mem_budget: budget,
         grid,
+        auto_plan,
     };
-    let plan = config.execution_plan(a.nrows(), a.ncols());
+    let plan = if auto_plan {
+        // The plan the engine will derive internally: the budget-aware
+        // planner with `--rows-a` as the baseline candidate.
+        let auto = tailors_sim::functional::auto_execution_plan(&a, &config);
+        println!(
+            "auto-plan: cost model chose {}-row panels (baseline {rows_a}) -> {} col blocks",
+            auto.rows_a(),
+            auto.n_col_blocks(),
+        );
+        auto
+    } else {
+        config.execution_plan(a.nrows(), a.ncols())
+    };
     let stats = plan.scratch_stats(grid);
     println!(
         "plan: {} row panels x {} col blocks = {} work units ({} tiles of {} cols per block); \
@@ -158,7 +183,7 @@ fn main() {
         budget,
         stats.fits_budget,
     );
-    if auto_tile {
+    if auto_tile || auto_plan {
         // A strategy-chosen grid may have single tiles wider than the
         // budget; the planner clamps to one tile per block and says so.
         if !stats.fits_budget {
@@ -185,8 +210,16 @@ fn main() {
     );
 
     if verify {
+        // The oracle runs at the *effective* tiling: the config's fixed
+        // one, or whatever the auto planner chose — the engine's contract
+        // is bit-identity with the seed engine at the tiling it executed.
+        let oracle_config = FunctionalConfig {
+            rows_a: plan.rows_a(),
+            auto_plan: false,
+            ..config
+        };
         let t2 = Instant::now();
-        let oracle = reference_run(&a, &config).expect("seed engine run");
+        let oracle = reference_run(&a, &oracle_config).expect("seed engine run");
         println!("seed engine: {:.2?}", t2.elapsed());
         assert_eq!(result.z, oracle.z, "output must be bit-identical");
         assert_eq!(result.dram_a_fetches, oracle.dram_a_fetches);

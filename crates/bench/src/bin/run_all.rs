@@ -1,7 +1,7 @@
 //! Runs every figure/table reproduction in sequence (the full evaluation).
 //!
 //! Usage: `cargo run --release -p tailors-bench --bin run_all --
-//! [scale] [--threads N] [--mem-budget SPEC] [--grid MODE]
+//! [scale] [--threads N] [--mem-budget SPEC] [--grid MODE] [--auto-plan]
 //! [--no-gen-cache] [--serve]`
 //!
 //! At `scale = 1.0` (default) the workloads are generated at the paper's
@@ -17,7 +17,11 @@
 //! forwards the functional grid decomposition the same way via
 //! `TAILORS_GRID` — `2d` fans functional runs out over `panels x blocks`
 //! work units with per-unit buffer drivers (results are bit-identical
-//! either way).
+//! either way). `--auto-plan` forwards `TAILORS_AUTO_PLAN=1`: execution
+//! plans come from the budget-aware auto planner (panel height
+//! co-optimized against the scratch budget) instead of the variants'
+//! fixed heights — the suite records the chosen plans in its scratch
+//! stats, and the functional smoke executes (and verifies) them.
 //!
 //! Generated tensors are memoized on disk across the child binaries
 //! (`TAILORS_GEN_CACHE`, defaulting to `target/gen-cache`) so the ten
@@ -37,11 +41,12 @@ fn main() {
     let mut threads: Option<String> = None;
     let mut mem_budget: Option<String> = None;
     let mut grid: Option<String> = None;
+    let mut auto_plan = false;
     let mut gen_cache = true;
     let mut serve = false;
     let mut args = std::env::args().skip(1);
     const USAGE: &str = "usage: run_all [scale] [--threads N] [--mem-budget SPEC] [--grid MODE] \
-         [--no-gen-cache] [--serve]";
+         [--auto-plan] [--no-gen-cache] [--serve]";
     while let Some(arg) = args.next() {
         if arg == "--threads" {
             let n = args.next().expect("--threads requires a value");
@@ -63,6 +68,8 @@ fn main() {
                 panic!("--grid: {e}");
             }
             grid = Some(mode);
+        } else if arg == "--auto-plan" {
+            auto_plan = true;
         } else if arg == "--no-gen-cache" {
             gen_cache = false;
         } else if arg == "--serve" {
@@ -109,6 +116,9 @@ fn main() {
         }
         if let Some(g) = &grid {
             cmd.env("TAILORS_GRID", g);
+        }
+        if auto_plan {
+            cmd.env("TAILORS_AUTO_PLAN", "1");
         }
         if gen_cache {
             cmd.env("TAILORS_GEN_CACHE", &cache_dir);

@@ -88,7 +88,7 @@ pub fn scale_from_args() -> f64 {
 // they produce (one definition for the figure binaries, the serving
 // sweeps, and anything else); re-exported here so existing
 // `tailors_bench::*_from_env` callers keep working.
-pub use tailors_sim::{grid_from_env, mem_budget_from_env, threads_from_env};
+pub use tailors_sim::{auto_plan_from_env, grid_from_env, mem_budget_from_env, threads_from_env};
 
 /// The architecture used by every figure, scaled consistently.
 pub fn arch_at(scale: f64) -> ArchConfig {
@@ -131,6 +131,7 @@ pub fn simulate_suite_served(
     let arch = arch_at(scale);
     let budget = mem_budget_from_env();
     let grid = grid_from_env();
+    let auto_plan = auto_plan_from_env();
     let suite = tailors_workloads::suite();
     let variants = [
         Variant::ExTensorN,
@@ -146,6 +147,7 @@ pub fn simulate_suite_served(
                 arch,
                 budget,
                 grid,
+                auto_plan,
             })
         })
         .collect();
@@ -184,16 +186,24 @@ pub fn simulate_suite_served(
 pub fn simulate_suite_with_threads(scale: f64, threads: usize) -> Vec<SuiteRun> {
     assert!(threads > 0, "thread count must be positive");
     let arch = arch_at(scale);
-    // Budget and grid never change hardware counts; they are recorded in
-    // each run's `scratch` stats so sweeps can report feasibility and
-    // parallel width.
+    // Budget, grid, and auto-planning never change hardware counts; they
+    // are recorded in each run's `scratch` stats so sweeps can report
+    // feasibility and parallel width.
     let budget = mem_budget_from_env();
     let grid = grid_from_env();
+    let auto_plan = auto_plan_from_env();
     let one = |wl: &Workload| {
         let (workload, profile) = profile_at(wl, scale);
-        let n = Variant::ExTensorN.run_gridded(&profile, &arch, budget, grid);
-        let p = Variant::ExTensorP.run_gridded(&profile, &arch, budget, grid);
-        let ob = Variant::default_ob().run_gridded(&profile, &arch, budget, grid);
+        let run = |v: Variant| {
+            if auto_plan {
+                v.run_auto(&profile, &arch, budget, grid)
+            } else {
+                v.run_gridded(&profile, &arch, budget, grid)
+            }
+        };
+        let n = run(Variant::ExTensorN);
+        let p = run(Variant::ExTensorP);
+        let ob = run(Variant::default_ob());
         SuiteRun {
             workload,
             profile,

@@ -142,11 +142,16 @@ impl TilingStrategy {
 
 fn finish(profile: &MatrixProfile, capacity: u64, rows: usize, tax: TilingTax) -> TileChoice {
     let panels = RowPanels::new(profile, rows);
+    // One fused pass over the tiling for both Table-1 statistics — the
+    // prescient planner lands on near-per-row tilings for small buffers,
+    // where separate utilization and overbooking walks dominated the
+    // whole `choose` call.
+    let summary = panels.capacity_summary(capacity);
     TileChoice {
         rows_per_tile: rows,
         n_tiles: panels.n_tiles(),
-        mean_utilization: panels.mean_utilization(capacity),
-        overbooking_rate: panels.overbooking_rate(capacity),
+        mean_utilization: summary.mean_utilization,
+        overbooking_rate: summary.overbooking_rate,
         tax,
     }
 }
@@ -158,7 +163,10 @@ fn finish(profile: &MatrixProfile, capacity: u64, rows: usize, tax: TilingTax) -
 /// `K`-spanning panel).
 fn prescient_rows(profile: &MatrixProfile, capacity: u64) -> (usize, u64) {
     let nrows = profile.nrows();
-    let fits = |rows: usize| RowPanels::new(profile, rows).max_occupancy() <= capacity;
+    // Short-circuit at the first overflowing panel: most candidates in the
+    // bracketing phase fail, and failing candidates fail early on skewed
+    // tensors, so this is far cheaper than materializing max_occupancy.
+    let fits = |rows: usize| RowPanels::new(profile, rows).fits_within(capacity);
     let mut candidates = 1u64;
     if !fits(1) {
         return (1, candidates);

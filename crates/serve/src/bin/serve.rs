@@ -5,14 +5,17 @@
 //!
 //! Usage: `cargo run --release -p tailors-serve --bin serve --
 //! [scale] [--sweeps N] [--threads N] [--mem-budget SPEC] [--grid MODE]
-//! [--verify] [--smoke-functional]`
+//! [--auto-plan] [--verify] [--smoke-functional]`
 //!
 //! The batch is the full 22-workload suite × the three variants at
 //! `scale` (default 1.0), submitted through
 //! [`SimService::submit_batch`]'s cost-balanced LPT scheduler. `--threads`
 //! falls back to `TAILORS_THREADS`, `--mem-budget` to
-//! `TAILORS_MEM_BUDGET`, and `--grid` to `TAILORS_GRID`, so `run_all
-//! --serve` reaches this binary with the same knobs as every other child.
+//! `TAILORS_MEM_BUDGET`, `--grid` to `TAILORS_GRID`, and `--auto-plan`
+//! to `TAILORS_AUTO_PLAN`, so `run_all --serve` reaches this binary with
+//! the same knobs as every other child. With auto-planning on, execution
+//! plans come from the budget-aware auto planner (cached per request key
+//! like any other plan) and `--verify` diffs against `Variant::run_auto`.
 //!
 //! `--verify` additionally recomputes every response cold — a direct
 //! `Variant::run_gridded` on a freshly built profile — and asserts
@@ -26,7 +29,8 @@ use std::time::Instant;
 use tailors_serve::{FunctionalRequest, SimRequest, SimService};
 use tailors_sim::functional::reference_run;
 use tailors_sim::{
-    grid_from_env, mem_budget_from_env, threads_from_env, ArchConfig, GridMode, MemBudget, Variant,
+    auto_plan_from_env, grid_from_env, mem_budget_from_env, threads_from_env, ArchConfig, GridMode,
+    MemBudget, Variant,
 };
 use tailors_workloads::{Workload, WorkloadClass};
 
@@ -36,6 +40,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut budget: Option<MemBudget> = None;
     let mut grid: Option<GridMode> = None;
+    let mut auto_plan = false;
     let mut verify = false;
     let mut smoke_functional = false;
 
@@ -62,6 +67,7 @@ fn main() {
                 budget = Some(MemBudget::parse(&next("--mem-budget")).expect("--mem-budget"))
             }
             "--grid" => grid = Some(GridMode::parse(&next("--grid")).expect("--grid")),
+            "--auto-plan" => auto_plan = true,
             "--verify" => verify = true,
             "--smoke-functional" => smoke_functional = true,
             other if !other.starts_with('-') => {
@@ -75,6 +81,7 @@ fn main() {
     let threads = threads.unwrap_or_else(threads_from_env);
     let budget = budget.unwrap_or_else(mem_budget_from_env);
     let grid = grid.unwrap_or_else(grid_from_env);
+    let auto_plan = auto_plan || auto_plan_from_env();
 
     let variants = [
         Variant::ExTensorN,
@@ -91,12 +98,13 @@ fn main() {
                 arch,
                 budget,
                 grid,
+                auto_plan,
             })
         })
         .collect();
     println!(
         "serve: {} requests/sweep ({} workloads x {} variants) at scale {scale}, \
-         {threads} threads, budget {budget}, grid {grid}",
+         {threads} threads, budget {budget}, grid {grid}, auto-plan {auto_plan}",
         batch.len(),
         batch.len() / variants.len(),
         variants.len(),
@@ -159,9 +167,13 @@ fn main() {
         {
             let profile = tailors_workloads::generate_cached(&reqs[0].workload).profile();
             for (req, resp) in reqs.iter().zip(resps) {
-                let direct = req
-                    .variant
-                    .run_gridded(&profile, &req.arch, req.budget, req.grid);
+                let direct = if req.auto_plan {
+                    req.variant
+                        .run_auto(&profile, &req.arch, req.budget, req.grid)
+                } else {
+                    req.variant
+                        .run_gridded(&profile, &req.arch, req.budget, req.grid)
+                };
                 assert_eq!(
                     resp.metrics,
                     direct,
@@ -179,7 +191,7 @@ fn main() {
     }
 
     if smoke_functional {
-        functional_smoke(threads, budget, grid);
+        functional_smoke(threads, budget, grid, auto_plan);
     }
     println!("OK");
 }
@@ -187,7 +199,7 @@ fn main() {
 /// The CI serving smoke: a batch of mixed variants executed *functionally*
 /// at 50 000 columns through the service, each result diffed against the
 /// seed engine under the identical derived configuration.
-fn functional_smoke(threads: usize, budget: MemBudget, grid: GridMode) {
+fn functional_smoke(threads: usize, budget: MemBudget, grid: GridMode, auto_plan: bool) {
     let workload = Workload {
         name: "serve-smoke-50k",
         nrows: 50_000,
@@ -225,6 +237,7 @@ fn functional_smoke(threads: usize, budget: MemBudget, grid: GridMode) {
             arch,
             budget,
             grid,
+            auto_plan,
             threads,
         };
         let t = Instant::now();

@@ -26,10 +26,11 @@
 //! 3. **Plans** — (`MatrixId`,
 //!    [`Variant::cache_key`](tailors_sim::Variant::cache_key),
 //!    [`ArchConfig::cache_key`](tailors_sim::ArchConfig::cache_key),
-//!    [`MemBudget`](tailors_sim::MemBudget)) → the variant's
-//!    [`TilePlan`](tailors_sim::TilePlan) and induced
-//!    [`ExecutionPlan`](tailors_sim::ExecutionPlan) in a bounded LRU;
-//!    hot requests replay them through
+//!    [`MemBudget`](tailors_sim::MemBudget), auto-plan flag) → the
+//!    variant's [`TilePlan`](tailors_sim::TilePlan) and induced
+//!    [`ExecutionPlan`](tailors_sim::ExecutionPlan) — fixed-height, or
+//!    from the budget-aware auto planner when the request opts in — in
+//!    a bounded LRU; hot requests replay them through
 //!    [`Variant::run_planned`](tailors_sim::Variant::run_planned) and
 //!    perform no planning.
 //!
@@ -166,6 +167,7 @@ mod tests {
             arch: ArchConfig::extensor().scaled(1.0 / 512.0),
             budget: MemBudget::mib(4),
             grid: GridMode::Grid2D,
+            auto_plan: false,
             threads: 2,
         };
         let served = service.run_functional(&req).unwrap();
@@ -180,5 +182,60 @@ mod tests {
         assert!(again.hits.tensor && again.hits.profile && again.hits.plan);
         assert_eq!(again.result, served.result);
         assert_eq!(service.stats().functional_requests, 2);
+    }
+
+    #[test]
+    fn auto_planned_requests_resolve_and_cache_their_own_plans() {
+        let service = SimService::new();
+        let wl = tailors_workloads::by_name("email-Enron")
+            .unwrap()
+            .scaled(1.0 / 512.0);
+        let arch = ArchConfig::extensor().scaled(1.0 / 512.0);
+        let budget = MemBudget::bytes(64 << 10);
+        let fixed = FunctionalRequest {
+            workload: wl.clone(),
+            variant: Variant::default_ob(),
+            arch,
+            budget,
+            grid: GridMode::Panels,
+            auto_plan: false,
+            threads: 2,
+        };
+        let auto = FunctionalRequest {
+            auto_plan: true,
+            ..fixed.clone()
+        };
+        let served_fixed = service.run_functional(&fixed).unwrap();
+        let served_auto = service.run_functional(&auto).unwrap();
+        // The served auto config is resolved (self-contained): a direct
+        // engine run at it reproduces the payload bitwise, and the output
+        // matrix is tiling-invariant.
+        assert!(!served_auto.config.auto_plan);
+        let a = wl.generate();
+        let direct = tailors_sim::functional::run_with_threads(&a, &served_auto.config, 1).unwrap();
+        assert_eq!(served_auto.result, direct);
+        assert_eq!(served_auto.result.z, served_fixed.result.z);
+        // Auto and fixed plans occupy distinct cache slots: the auto
+        // request was a plan miss despite the fixed one having populated
+        // the tier, and its resubmission hits.
+        assert_eq!(service.stats().plan_misses, 2);
+        let again = service.run_functional(&auto).unwrap();
+        assert!(again.hits.plan);
+        assert_eq!(again.result, served_auto.result);
+        // The analytical path shares the keying: an auto SimRequest for
+        // the same inputs is served from the same plan tier.
+        let sim_req = SimRequest {
+            workload: wl.clone(),
+            variant: Variant::default_ob(),
+            arch,
+            budget,
+            grid: GridMode::Panels,
+            auto_plan: true,
+        };
+        let resp = service.submit(&sim_req);
+        assert!(resp.hits.plan, "functional warm-up must serve the sim path");
+        let profile = a.profile();
+        let cold = Variant::default_ob().run_auto(&profile, &arch, budget, GridMode::Panels);
+        assert_eq!(resp.metrics, cold);
     }
 }

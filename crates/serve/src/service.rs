@@ -82,13 +82,19 @@ pub struct SimRequest {
     pub budget: MemBudget,
     /// Functional grid decomposition recorded in the scratch stats.
     pub grid: GridMode,
+    /// Opt-in budget-aware auto-tiling: derive the execution plan through
+    /// [`Variant::auto_execution_plan`] (panel height co-optimized
+    /// against `budget`) instead of fixing it at the variant's tile
+    /// height. Part of the plan-tier cache key — auto and fixed plans for
+    /// the same (matrix, variant, arch, budget) are distinct artifacts.
+    pub auto_plan: bool,
 }
 
 impl SimRequest {
     /// A request for suite workload `name` at `scale` (workload and
     /// architecture scaled together, as the bench suite does), with an
-    /// unbounded budget and the default grid. `None` if `name` is not a
-    /// suite workload.
+    /// unbounded budget, the default grid, and fixed (non-auto) tiling.
+    /// `None` if `name` is not a suite workload.
     pub fn suite(name: &str, scale: f64, variant: Variant) -> Option<SimRequest> {
         Some(SimRequest {
             workload: tailors_workloads::by_name(name)?.scaled(scale),
@@ -96,6 +102,7 @@ impl SimRequest {
             arch: ArchConfig::extensor().scaled(scale),
             budget: MemBudget::Unbounded,
             grid: GridMode::default(),
+            auto_plan: false,
         })
     }
 }
@@ -147,6 +154,11 @@ pub struct FunctionalRequest {
     pub budget: MemBudget,
     /// Functional grid decomposition.
     pub grid: GridMode,
+    /// Opt-in budget-aware auto-tiling: take the panel height from the
+    /// variant's (cached) auto execution plan instead of its tile plan.
+    /// The served result is bit-identical to a direct engine run at the
+    /// returned configuration's tiling, as always.
+    pub auto_plan: bool,
     /// Worker threads for the engine (results never depend on this).
     pub threads: usize,
 }
@@ -241,6 +253,9 @@ type PlanKey = (
     tailors_sim::VariantKey,
     tailors_sim::ArchKey,
     MemBudget,
+    // Auto-planned vs fixed tiling — the two derive different execution
+    // plans from the same inputs, so they must never share a cache slot.
+    bool,
 );
 
 /// The long-lived, thread-safe simulation service. See the
@@ -330,7 +345,14 @@ impl SimService {
             // would quietly void this tier's memory bound.
             None => self.profile_of(id, || Arc::new(generate_cached(&req.workload).profile())),
         };
-        let (planned, plan_hit) = self.plans_of(id, req.variant, &req.arch, req.budget, &profile);
+        let (planned, plan_hit) = self.plans_of(
+            id,
+            req.variant,
+            &req.arch,
+            req.budget,
+            req.auto_plan,
+            &profile,
+        );
         let metrics =
             req.variant
                 .run_planned(&profile, &req.arch, &planned.tile, &planned.exec, req.grid);
@@ -402,7 +424,7 @@ impl SimService {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let id = MatrixId::of(a);
         let (profile, profile_hit) = self.profile_of(id, || Arc::new(a.profile()));
-        let (planned, plan_hit) = self.plans_of(id, variant, arch, budget, &profile);
+        let (planned, plan_hit) = self.plans_of(id, variant, arch, budget, false, &profile);
         let metrics = variant.run_planned(&profile, arch, &planned.tile, &planned.exec, grid);
         (
             metrics,
@@ -448,15 +470,33 @@ impl SimService {
             }
         };
         let (profile, profile_hit) = self.profile_of(id, || Arc::new(tensor.profile()));
-        let (planned, plan_hit) = self.plans_of(id, req.variant, &req.arch, req.budget, &profile);
+        let (planned, plan_hit) = self.plans_of(
+            id,
+            req.variant,
+            &req.arch,
+            req.budget,
+            req.auto_plan,
+            &profile,
+        );
+        // An auto-planned request resolves its panel height here, from
+        // the *cached* auto execution plan (the engine would derive the
+        // identical plan itself — same profile, same buffer model, same
+        // baseline — but resolving at the plan tier keeps hot requests
+        // planning-free and the returned config self-contained: callers
+        // diff it against `reference_run` directly).
         let config = FunctionalConfig {
             capacity: (req.arch.tile_capacity() as usize).max(1),
             fifo_region: req.arch.gb_fifo_region() as usize,
-            rows_a: planned.tile.gb_rows_a,
+            rows_a: if req.auto_plan {
+                planned.exec.rows_a()
+            } else {
+                planned.tile.gb_rows_a
+            },
             cols_b: planned.tile.gb_cols_b,
             overbooking: planned.tile.overbooking,
             mem_budget: req.budget,
             grid: req.grid,
+            auto_plan: false,
         };
         let result = run_with_threads(&tensor, &config, req.threads)?;
         Ok(FunctionalResponse {
@@ -527,16 +567,21 @@ impl SimService {
         variant: Variant,
         arch: &ArchConfig,
         budget: MemBudget,
+        auto_plan: bool,
         profile: &MatrixProfile,
     ) -> (Planned, bool) {
-        let key: PlanKey = (id, variant.cache_key(), arch.cache_key(), budget);
+        let key: PlanKey = (id, variant.cache_key(), arch.cache_key(), budget, auto_plan);
         if let Some(p) = self.plans.lock().expect("plans lock").get(&key) {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
             return (*p, true);
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         let tile = variant.plan(profile, arch);
-        let exec = ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &tile, budget);
+        let exec = if auto_plan {
+            variant.auto_execution_plan_for(profile, arch, budget, &tile)
+        } else {
+            ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &tile, budget)
+        };
         let planned = Planned { tile, exec };
         self.plans.lock().expect("plans lock").insert(key, planned);
         (planned, false)

@@ -1,5 +1,7 @@
 //! Golden-metrics regression suite: for a fixed seed set covering every
-//! `Variant` × {no budget, tight budget} × `GridMode::{Panels, Grid2D}`,
+//! `Variant` × {no budget, tight budget} × `GridMode::{Panels, Grid2D}`
+//! (plus auto-planned rows at the tight budget, appended after the fixed
+//! ones so non-auto lines never move),
 //! the full `RunMetrics` payload (cycle/energy roofline, DRAM totals and
 //! breakdowns, activity counts, reuse statistics, tile plan, scratch
 //! stats) is snapshotted into the checked-in golden file
@@ -43,7 +45,7 @@ fn variants() -> [Variant; 3] {
     ]
 }
 
-fn combos() -> Vec<(Workload, Variant, MemBudget, GridMode)> {
+fn combos() -> Vec<(Workload, Variant, MemBudget, GridMode, bool)> {
     let mut out = Vec::new();
     for name in WORKLOADS {
         let wl = tailors_workloads::by_name(name)
@@ -52,8 +54,21 @@ fn combos() -> Vec<(Workload, Variant, MemBudget, GridMode)> {
         for variant in variants() {
             for budget in [MemBudget::Unbounded, TIGHT] {
                 for grid in [GridMode::Panels, GridMode::Grid2D] {
-                    out.push((wl.clone(), variant, budget, grid));
+                    out.push((wl.clone(), variant, budget, grid, false));
                 }
+            }
+        }
+    }
+    // Auto-planned rows ride at the tight budget only (an unbounded
+    // budget leaves nothing to co-optimize against), appended *after*
+    // every fixed row so the pre-existing golden lines stay untouched.
+    for name in WORKLOADS {
+        let wl = tailors_workloads::by_name(name)
+            .expect("fixed workload exists")
+            .scaled(SCALE);
+        for variant in variants() {
+            for grid in [GridMode::Panels, GridMode::Grid2D] {
+                out.push((wl.clone(), variant, TIGHT, grid, true));
             }
         }
     }
@@ -68,13 +83,17 @@ fn render(
     variant: Variant,
     budget: MemBudget,
     grid: GridMode,
+    auto_plan: bool,
     m: &RunMetrics,
 ) -> String {
     let mut s = String::new();
     let a = &m.activity;
+    // Auto-planned rows carry a marker after the grid so fixed lines
+    // render byte-identically to the pre-auto golden file.
+    let auto = if auto_plan { " auto-plan" } else { "" };
     let _ = write!(
         s,
-        "{}@1/256 {} budget={budget} grid={grid} | cycles={:?} energy_pj={:?} bound={} | \
+        "{}@1/256 {} budget={budget} grid={grid}{auto} | cycles={:?} energy_pj={:?} bound={} | \
          dram={}/{}+{} gb={} pe={} macs={} isect={} | \
          bumped={:?} reused={:?} obA={}/{} obB={}/{} | \
          tile={}x{}/{}x{} full_k={} ob={} | \
@@ -164,10 +183,14 @@ fn assert_matches_golden(actual: &str, context: &str) {
 fn golden_metrics_direct() {
     let arch = ArchConfig::extensor().scaled(SCALE);
     let mut actual = String::new();
-    for (wl, variant, budget, grid) in combos() {
+    for (wl, variant, budget, grid, auto_plan) in combos() {
         let profile = tailors_workloads::generate_cached(&wl).profile();
-        let m = variant.run_gridded(&profile, &arch, budget, grid);
-        actual.push_str(&render(&wl, variant, budget, grid, &m));
+        let m = if auto_plan {
+            variant.run_auto(&profile, &arch, budget, grid)
+        } else {
+            variant.run_gridded(&profile, &arch, budget, grid)
+        };
+        actual.push_str(&render(&wl, variant, budget, grid, auto_plan, &m));
         actual.push('\n');
     }
     assert_matches_golden(&actual, "direct Variant runs");
@@ -179,12 +202,13 @@ fn golden_metrics_under_serve() {
     let service = SimService::new();
     let reqs: Vec<SimRequest> = combos()
         .into_iter()
-        .map(|(workload, variant, budget, grid)| SimRequest {
+        .map(|(workload, variant, budget, grid, auto_plan)| SimRequest {
             workload,
             variant,
             arch,
             budget,
             grid,
+            auto_plan,
         })
         .collect();
     // Cold batch warms the tiers; the hot batch is the one snapshotted —
@@ -204,6 +228,7 @@ fn golden_metrics_under_serve() {
             req.variant,
             req.budget,
             req.grid,
+            req.auto_plan,
             &h.metrics,
         ));
         actual.push('\n');

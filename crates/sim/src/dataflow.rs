@@ -115,10 +115,21 @@ pub fn simulate_planned(
     );
     assert!(profile.nnz() > 0, "cannot simulate an empty tensor");
     let plan = plan.normalized(profile.nrows());
+    // The exec plan's panel height may legitimately differ from the tile
+    // plan's (the auto planner co-optimizes it against the budget), but
+    // its streamed tile width and block grouping must be the canonical
+    // ones for that height — anything else means a cache served a plan
+    // derived from different inputs.
     debug_assert_eq!(
         *exec,
-        ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &plan, exec.budget()),
-        "exec plan must be derived from the tile plan it is simulated with"
+        ExecutionPlan::new(
+            profile.nrows(),
+            profile.ncols(),
+            exec.rows_a().max(1),
+            plan.gb_cols_b,
+            exec.budget()
+        ),
+        "exec plan must be canonical for its height and the tile plan's width"
     );
     let nnz = profile.nnz() as u128;
 
@@ -193,7 +204,15 @@ pub fn simulate_planned(
 
     // B side: per-pass occupancy and refetch sums over B tiles. The bumped
     // portion of an overbooked B-tile is refetched once per extra wave.
-    let (b_refetch_per_pass, overbooked_b_tiles) = if plan.full_k {
+    // When both operands tile at the same panel height (the prescient and
+    // overbooked variants always do — B = Aᵀ of a square tensor, so the
+    // panels are literally the same), the A-side sums above already are
+    // the B-side sums; re-walking the tiling would double the hot loop.
+    let (b_refetch_per_pass, overbooked_b_tiles) = if !plan.full_k {
+        (0, 0)
+    } else if plan.gb_cols_b == plan.gb_rows_a {
+        (gb_refetch_a_total, overbooked_a_tiles)
+    } else {
         let panels = RowPanels::new(profile, plan.gb_cols_b);
         let mut refetch_sum: u128 = 0;
         let mut over = 0usize;
@@ -205,15 +224,16 @@ pub fn simulate_planned(
             }
         }
         (refetch_sum, over)
-    } else {
-        (0, 0)
     };
     // Σ_i [nnz + (batches_i - 1) × Σ_j refetch_j].
     let dram_b = n_a * nnz + (total_batches - n_a) * b_refetch_per_pass;
 
     // PE-level A-subtile overflow (refetched from the GB per extra chunk
-    // traversal).
-    let pe_refetch_a_total: u128 = if plan.full_k {
+    // traversal). Single-row subtiles carry no refetch penalty by the
+    // `rows <= 1` rule above, so the near-per-row walk the prescient
+    // variant otherwise forces here (pe_rows_a of 1 on million-row
+    // tensors) is skipped outright.
+    let pe_refetch_a_total: u128 = if plan.full_k && plan.pe_rows_a > 1 {
         RowPanels::new(profile, plan.pe_rows_a)
             .occupancies()
             .map(|occ| refetch(occ, cap_pe, resident_pe, plan.overbooking, plan.pe_rows_a) as u128)

@@ -143,6 +143,33 @@ pub fn mem_budget_from_env() -> MemBudget {
     }
 }
 
+/// Whether auto-tiling is requested via the `TAILORS_AUTO_PLAN`
+/// environment variable (`run_all --auto-plan` forwards it to every child
+/// binary): `1` / `true` / `yes` (case-insensitive) enable it, `0` /
+/// `false` / `no` / unset leave every path on its fixed tiling.
+///
+/// # Panics
+///
+/// Panics if `TAILORS_AUTO_PLAN` is set to anything else.
+pub fn auto_plan_from_env() -> bool {
+    match std::env::var("TAILORS_AUTO_PLAN") {
+        Err(_) => false,
+        Ok(s) => parse_auto_plan(&s)
+            .unwrap_or_else(|| panic!("TAILORS_AUTO_PLAN must be a boolean, got {s:?}")),
+    }
+}
+
+/// The boolean grammar behind [`auto_plan_from_env`], split out so the
+/// accepted spellings are testable without mutating the process
+/// environment. `None` means unparseable.
+fn parse_auto_plan(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" => Some(true),
+        "" | "0" | "false" | "no" => Some(false),
+        _ => None,
+    }
+}
+
 /// The functional grid decomposition from the `TAILORS_GRID` environment
 /// variable (`run_all --grid` forwards it the same way), or the panels
 /// default when unset. Results never depend on this — it only changes
@@ -557,6 +584,270 @@ impl ExecutionPlan {
     pub fn units(&self) -> impl Iterator<Item = PlanUnit> + '_ {
         (0..self.n_row_panels()).flat_map(move |pi| self.panel_units(pi))
     }
+
+    /// The budget-aware auto-tiling planner: picks the panel height
+    /// (`rows_a`) that minimizes [`AutoPlanner`]'s closed-form traffic
+    /// model for this `budget`, instead of accepting a caller-fixed
+    /// height and paying whatever column-block count falls out. The
+    /// streamed tile width `cols_b` is kept as given (it fixes the
+    /// buffer-traversal counts); the column-*block* width co-moves with
+    /// the chosen height through the budget. See [`AutoPlanner`] for the
+    /// model and [`AutoPlanner::with_buffer`] /
+    /// [`AutoPlanner::with_baseline`] for the optional refinements this
+    /// convenience constructor forwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols_b == 0`.
+    pub fn auto_for_budget(
+        profile: &MatrixProfile,
+        cols_b: usize,
+        budget: MemBudget,
+        buffer: Option<BufferParams>,
+        baseline_rows_a: Option<usize>,
+    ) -> ExecutionPlan {
+        let mut planner = AutoPlanner::new(profile, cols_b, budget);
+        if let Some(b) = buffer {
+            planner = planner.with_buffer(b);
+        }
+        if let Some(r) = baseline_rows_a {
+            planner = planner.with_baseline(r);
+        }
+        planner.plan()
+    }
+}
+
+/// Operand-buffer parameters the auto planner's A-side refetch term
+/// mirrors from the functional engine's [`TileDriver`]: a stationary
+/// panel whose occupancy exceeds `capacity` refetches its steady-state
+/// volume on every traversal after the first — the bumped remainder
+/// (`occ − (capacity − fifo_region)`) through a Tailor, the whole panel
+/// through a plain buffet.
+///
+/// [`TileDriver`]: crate::functional
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferParams {
+    /// Operand-buffer capacity in nonzeros.
+    pub capacity: usize,
+    /// Tailors FIFO-region size (ignored when `overbooking` is false).
+    pub fifo_region: usize,
+    /// Tailor (stream the bumped remainder) vs plain buffet (drop and
+    /// refill the whole tile).
+    pub overbooking: bool,
+}
+
+impl BufferParams {
+    /// Per-traversal steady-state refetch volume of a panel of `occ`
+    /// nonzeros — exactly the quantity `TileDriver::steady_refetch`
+    /// reports: zero when the panel fits, the bumped remainder through a
+    /// Tailor, the whole panel through a buffet. Deliberately **unlike**
+    /// the analytical dataflow model's refetch term, there is no
+    /// single-row exemption here: the hardware model assumes the address
+    /// generator K-splits an over-capacity single-row fiber, but the
+    /// software engine this planner prices has no such split and really
+    /// does restream an overbooked one-row panel every traversal.
+    pub fn steady_refetch(&self, occ: u64) -> u64 {
+        if occ <= self.capacity as u64 {
+            0
+        } else if self.overbooking {
+            let resident = self.capacity.saturating_sub(self.fifo_region).max(1) as u64;
+            occ - resident.min(occ)
+        } else {
+            occ
+        }
+    }
+}
+
+/// The closed-form traffic of one auto-planner candidate, in
+/// element-touches (see [`AutoPlanner`] for the model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCost {
+    /// Candidate panel height.
+    pub rows_a: usize,
+    /// Column blocks the budget induces at this height.
+    pub col_blocks: usize,
+    /// Whether the induced scratch honours the budget (single streamed
+    /// tiles wider than the budget clamp and violate it).
+    pub fits_budget: bool,
+    /// A-side DRAM volume: one cold fill of every panel (`nnz`) plus the
+    /// steady-state refetch volume of every traversal after the first.
+    pub scratch_fills: u128,
+    /// B-side DRAM volume: every panel streams the whole operand once
+    /// (`n_row_panels × nnz`).
+    pub b_refetch: u128,
+    /// Total extraction row-drain passes: every output row is drained
+    /// once per column block (`nrows × col_blocks`) — the term narrow
+    /// blocks blow up.
+    pub extraction_passes: u128,
+    /// `scratch_fills + b_refetch + extraction_passes`.
+    pub total: u128,
+}
+
+/// The occupancy-profile-driven auto-tiling planner (the paper's thesis
+/// applied to the *software* scratch): given a [`MemBudget`], co-optimize
+/// the stationary panel height against the column-block width it induces,
+/// using a closed-form traffic model over the profile's prefix sums.
+///
+/// The budget fixes the trade surface: a block spans
+/// `budget / (8 × rows_a)` scratch columns, so **shorter panels mean
+/// wider blocks**. The model prices each candidate height in
+/// element-touches:
+///
+/// * **scratch fills** — A-side DRAM: `nnz` compulsory cold fills plus
+///   `(n_col_tiles − 1) × Σ_p steady_p` steady-state refetch
+///   ([`BufferParams::steady_refetch`] per panel; taller panels overbook
+///   the operand buffer and restream more);
+/// * **B-refetch** — `n_row_panels × nnz`: every panel streams the whole
+///   operand once, so ever-shorter panels are not free;
+/// * **extraction passes** — `nrows × n_col_blocks` row-drains: every
+///   output row is extracted once per block, the cost a fixed tall panel
+///   under a tight budget degenerates into (many narrow blocks).
+///
+/// All three are the quantities the variants and the functional engine
+/// already account — the planner just minimizes their sum instead of
+/// accepting a fixed height. Candidates are the powers of two up to
+/// `nrows`, `nrows` itself, and the caller's baseline height (so the
+/// model never scores worse than the fixed plan it replaces); plans that
+/// honour the budget are strictly preferred over clamped ones, then lower
+/// total, then fewer blocks, then the shorter panel — a deterministic
+/// order with no ties.
+///
+/// Results never depend on the choice: every tiling is bit-identical to
+/// [`reference_run`](crate::functional::reference_run) (the invariant the
+/// property suites enforce for arbitrary tilings) — the planner only
+/// moves traffic and scratch shape.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoPlanner<'a> {
+    profile: &'a MatrixProfile,
+    cols_b: usize,
+    budget: MemBudget,
+    buffer: Option<BufferParams>,
+    baseline_rows_a: Option<usize>,
+}
+
+impl<'a> AutoPlanner<'a> {
+    /// A planner over `profile` with streamed tiles `cols_b` wide under
+    /// `budget`, with no buffer model (refetch term zero) and no baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols_b == 0`.
+    pub fn new(profile: &'a MatrixProfile, cols_b: usize, budget: MemBudget) -> Self {
+        assert!(cols_b > 0, "tile dimensions must be positive");
+        AutoPlanner {
+            profile,
+            cols_b,
+            budget,
+            buffer: None,
+            baseline_rows_a: None,
+        }
+    }
+
+    /// Prices the A-side refetch term against a concrete operand buffer
+    /// (the functional engine's, or the architecture's working-tile
+    /// capacity).
+    pub fn with_buffer(mut self, buffer: BufferParams) -> Self {
+        self.buffer = Some(buffer);
+        self
+    }
+
+    /// Adds the fixed panel height being replaced to the candidate set,
+    /// so the chosen plan never scores worse than it under the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_a == 0`.
+    pub fn with_baseline(mut self, rows_a: usize) -> Self {
+        assert!(rows_a > 0, "tile dimensions must be positive");
+        self.baseline_rows_a = Some(rows_a);
+        self
+    }
+
+    /// The closed-form cost of one candidate height. O(`nrows / rows_a`)
+    /// over the profile's prefix sums when a buffer model is set, O(1)
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_a == 0`.
+    pub fn cost_of(&self, rows_a: usize) -> PlanCost {
+        let (nrows, ncols) = (self.profile.nrows(), self.profile.ncols());
+        let plan = ExecutionPlan::new(nrows, ncols, rows_a, self.cols_b, self.budget);
+        let nnz = self.profile.nnz() as u128;
+        let n_panels = plan.n_row_panels() as u128;
+        let n_blocks = plan.n_col_blocks() as u128;
+        let traversals = plan.n_col_tiles() as u128;
+        let steady: u128 = match &self.buffer {
+            None => 0,
+            Some(bp) => self
+                .profile
+                .panel_occupancies(rows_a)
+                .map(|occ| bp.steady_refetch(occ) as u128)
+                .sum(),
+        };
+        let scratch_fills = nnz + traversals.saturating_sub(1) * steady;
+        let b_refetch = n_panels * nnz;
+        let extraction_passes = nrows as u128 * n_blocks;
+        PlanCost {
+            rows_a,
+            col_blocks: plan.n_col_blocks(),
+            fits_budget: plan.fits_budget(),
+            scratch_fills,
+            b_refetch,
+            extraction_passes,
+            total: scratch_fills + b_refetch + extraction_passes,
+        }
+    }
+
+    /// Evaluates every candidate height and returns the winner's cost
+    /// breakdown (see the type docs for the candidate set and the
+    /// deterministic preference order).
+    pub fn choose(&self) -> PlanCost {
+        let nrows = self.profile.nrows().max(1);
+        let mut candidates: Vec<usize> = Vec::with_capacity(nrows.ilog2() as usize + 4);
+        let mut r = 1usize;
+        while r < nrows {
+            candidates.push(r);
+            r *= 2;
+        }
+        candidates.push(nrows);
+        if let Some(b) = self.baseline_rows_a {
+            candidates.push(b.min(nrows));
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut best: Option<PlanCost> = None;
+        for &rows_a in &candidates {
+            let cost = self.cost_of(rows_a);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    // Budget-honouring first, then cheapest, then the
+                    // widest blocks, then the shortest panel.
+                    (!cost.fits_budget, cost.total, cost.col_blocks, cost.rows_a)
+                        < (!b.fits_budget, b.total, b.col_blocks, b.rows_a)
+                }
+            };
+            if better {
+                best = Some(cost);
+            }
+        }
+        best.expect("candidate set is never empty")
+    }
+
+    /// The chosen execution plan: [`ExecutionPlan::new`] at the winning
+    /// height, so it is exactly the plan a fixed run at that height would
+    /// derive (the bit-identity the tests lean on).
+    pub fn plan(&self) -> ExecutionPlan {
+        let choice = self.choose();
+        ExecutionPlan::new(
+            self.profile.nrows(),
+            self.profile.ncols(),
+            choice.rows_a,
+            self.cols_b,
+            self.budget,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -710,6 +1001,113 @@ mod tests {
         assert_eq!(p.n_col_tiles(), 0);
         assert_eq!(p.n_col_blocks(), 0);
         assert_eq!(p.units().count(), 0);
+    }
+
+    /// A uniform 2000 × 2000 profile with 10 nonzeros per row/column —
+    /// the auto-planner tests' analog of the 2 k benchmark point.
+    fn uniform_profile() -> MatrixProfile {
+        MatrixProfile::new(2_000, 2_000, vec![10; 2_000], vec![10; 2_000])
+    }
+
+    #[test]
+    fn auto_planner_widens_blocks_under_a_tight_budget() {
+        let p = uniform_profile();
+        // The bench operating point: 32-column streamed tiles, a 64 KiB
+        // budget, the engine's overbooked 2048-slot buffer, and a fixed
+        // 256-row baseline (whose panels overbook and whose blocks are
+        // single tiles).
+        let planner = AutoPlanner::new(&p, 32, MemBudget::bytes(64 << 10))
+            .with_buffer(BufferParams {
+                capacity: 2_048,
+                fifo_region: 256,
+                overbooking: true,
+            })
+            .with_baseline(256);
+        let fixed = planner.cost_of(256);
+        assert_eq!(fixed.col_blocks, 63, "baseline: single-tile blocks");
+        assert!(fixed.fits_budget);
+        let auto = planner.choose();
+        assert_eq!(auto.rows_a, 128, "half-height panels, double-width blocks");
+        assert_eq!(auto.col_blocks, 32);
+        assert!(auto.fits_budget);
+        // The acceptance ordering: strictly fewer extraction passes and
+        // strictly lower modeled traffic than the fixed plan.
+        assert!(auto.extraction_passes < fixed.extraction_passes);
+        assert!(auto.total < fixed.total);
+        // The shorter panels stopped overbooking the operand buffer.
+        assert_eq!(auto.scratch_fills, p.nnz() as u128);
+        assert!(fixed.scratch_fills > p.nnz() as u128);
+        // And the emitted plan is exactly the fixed plan at that height.
+        assert_eq!(
+            planner.plan(),
+            ExecutionPlan::new(2_000, 2_000, 128, 32, MemBudget::bytes(64 << 10))
+        );
+    }
+
+    #[test]
+    fn auto_planner_prefers_budget_honouring_plans() {
+        let p = uniform_profile();
+        // A budget smaller than any multi-row single tile: only 1-row
+        // panels fit (1 × 32 × 8 = 256 bytes).
+        let planner = AutoPlanner::new(&p, 32, MemBudget::bytes(256)).with_baseline(512);
+        let choice = planner.choose();
+        assert_eq!(choice.rows_a, 1);
+        assert!(choice.fits_budget);
+        assert!(!planner.cost_of(512).fits_budget);
+    }
+
+    #[test]
+    fn auto_planner_unbounded_budget_keeps_one_block() {
+        let p = uniform_profile();
+        // Without a budget every height yields one block; B-refetch then
+        // dominates and the planner grows the panel to the whole tensor.
+        let choice = AutoPlanner::new(&p, 32, MemBudget::Unbounded).choose();
+        assert_eq!(choice.rows_a, 2_000);
+        assert_eq!(choice.col_blocks, 1);
+        assert_eq!(choice.b_refetch, p.nnz() as u128);
+    }
+
+    #[test]
+    fn auto_planner_handles_degenerate_profiles() {
+        let empty = MatrixProfile::new(0, 0, vec![], vec![]);
+        let plan = ExecutionPlan::auto_for_budget(&empty, 8, MemBudget::mib(1), None, None);
+        assert_eq!(plan.n_row_panels(), 0);
+        assert_eq!(plan.units().count(), 0);
+        let tiny = MatrixProfile::new(1, 1, vec![1], vec![1]);
+        let plan = ExecutionPlan::auto_for_budget(&tiny, 8, MemBudget::bytes(8), None, Some(4));
+        assert_eq!(plan.rows_a(), 1);
+    }
+
+    #[test]
+    fn buffer_params_mirror_the_tile_driver() {
+        let tailor = BufferParams {
+            capacity: 40,
+            fifo_region: 8,
+            overbooking: true,
+        };
+        assert_eq!(tailor.steady_refetch(40), 0, "fitting tile");
+        assert_eq!(tailor.steady_refetch(100), 100 - 32, "bumped remainder");
+        let buffet = BufferParams {
+            overbooking: false,
+            ..tailor
+        };
+        assert_eq!(buffet.steady_refetch(100), 100, "whole-tile refill");
+    }
+
+    #[test]
+    fn auto_plan_env_parses_booleans() {
+        // Unset: off (the environment is not mutated here — the harness
+        // runs tests concurrently — so the variable itself only gets the
+        // unset-default probe; the grammar is tested directly).
+        assert!(!auto_plan_from_env());
+        for on in ["1", "true", "YES", " True "] {
+            assert_eq!(parse_auto_plan(on), Some(true), "{on:?}");
+        }
+        for off in ["0", "false", "No", "", "  "] {
+            assert_eq!(parse_auto_plan(off), Some(false), "{off:?}");
+        }
+        assert_eq!(parse_auto_plan("always"), None);
+        assert_eq!(parse_auto_plan("2"), None);
     }
 
     #[test]

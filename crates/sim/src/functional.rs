@@ -71,7 +71,7 @@
 //! count, every memory budget, and both grid modes, and bit-identical to
 //! the retained seed engine [`reference_run`].
 
-use crate::exec::{run_balanced, ExecutionPlan, GridMode, MemBudget, PlanUnit};
+use crate::exec::{run_balanced, BufferParams, ExecutionPlan, GridMode, MemBudget, PlanUnit};
 use tailors_eddo::{Buffet, EddoError, Tailor, TailorConfig};
 use tailors_tensor::ops::BlockedSpa;
 use tailors_tensor::{CooMatrix, CsrMatrix, TileColPtr};
@@ -99,14 +99,53 @@ pub struct FunctionalConfig {
     /// yields bit-identical results; it only changes the available
     /// parallelism.
     pub grid: GridMode,
+    /// Opt-in budget-aware auto-tiling: when set, `rows_a` is only the
+    /// *baseline* candidate — the engine re-plans the panel height
+    /// against `mem_budget` through the
+    /// [`AutoPlanner`](crate::exec::AutoPlanner) (see
+    /// [`auto_execution_plan`]) before running. The output matrix is
+    /// bit-identical to [`reference_run`] either way (results never
+    /// depend on the tiling); the DRAM counts are those of the chosen
+    /// tiling.
+    pub auto_plan: bool,
 }
 
 impl FunctionalConfig {
     /// The memory-governed execution plan this configuration induces on an
-    /// `nrows × ncols` output.
+    /// `nrows × ncols` output **at the fixed `rows_a`** — what every run
+    /// without [`FunctionalConfig::auto_plan`] executes. An auto-planned
+    /// run derives its plan from the matrix instead; see
+    /// [`auto_execution_plan`].
     pub fn execution_plan(&self, nrows: usize, ncols: usize) -> ExecutionPlan {
         ExecutionPlan::new(nrows, ncols, self.rows_a, self.cols_b, self.mem_budget)
     }
+
+    /// The operand-buffer parameters the auto planner prices its refetch
+    /// term against — exactly the buffer [`TileDriver`] drives.
+    fn buffer_params(&self) -> BufferParams {
+        BufferParams {
+            capacity: self.capacity,
+            fifo_region: self.fifo_region,
+            overbooking: self.overbooking,
+        }
+    }
+}
+
+/// The execution plan an auto-planned run ([`FunctionalConfig::auto_plan`])
+/// derives: the [`AutoPlanner`](crate::exec::AutoPlanner) over the
+/// matrix's occupancy profile, with the config's buffer as the refetch
+/// model and its `rows_a` as the baseline candidate. Exposed so callers
+/// (smokes, tests, the serving layer) can see the tiling an auto run will
+/// execute — a fixed run at `plan.rows_a()` is bit-identical to the auto
+/// run in every reported field.
+pub fn auto_execution_plan(a: &CsrMatrix, config: &FunctionalConfig) -> ExecutionPlan {
+    ExecutionPlan::auto_for_budget(
+        &a.profile(),
+        config.cols_b,
+        config.mem_budget,
+        Some(config.buffer_params()),
+        Some(config.rows_a),
+    )
 }
 
 /// Result of a functional run.
@@ -188,7 +227,11 @@ fn engine_setup(a: &CsrMatrix, config: &FunctionalConfig, threads: usize) -> Eng
     assert!(threads > 0, "thread count must be positive");
     let b = a.transpose();
     let n = a.nrows();
-    let plan = config.execution_plan(n, n);
+    let plan = if config.auto_plan {
+        auto_execution_plan(a, config)
+    } else {
+        config.execution_plan(n, n)
+    };
     // Column-pointer view of B at the tile grid: row k ∩ tile tj becomes an
     // O(1) slice instead of a per-element partition_point. The view costs
     // nrows × (n_tiles + 1) indices; when a degenerate tiling (tiny cols_b
@@ -327,7 +370,7 @@ pub fn run_grid(
         })
         .collect();
     let unit_results = run_balanced(units.len(), &costs, threads, |ui| {
-        run_unit(a, &b, b_tiles.as_ref(), config, &plan, &units[ui])
+        run_unit(a, &b, b_tiles.as_ref(), config, &units[ui])
     });
     let mut outputs: Vec<UnitOutput> = Vec::with_capacity(unit_results.len());
     let mut traffic: Vec<UnitTraffic> = Vec::with_capacity(unit_results.len());
@@ -397,12 +440,182 @@ struct UnitOutput {
     vals: Vec<f64>,
 }
 
+/// The accumulator interface the per-unit kernel dispatch needs: the
+/// bitmask-blocked scratch's masked mode and its dense mode
+/// ([`DenseMode`]) both provide it with identical semantics
+/// (bit-identical emission on the same write sequence — property-tested
+/// in `crates/tensor/tests/proptests.rs`), so [`run_block`]
+/// monomorphizes over the choice and the accumulate hot loop carries no
+/// per-write dispatch branch. Both modes drive the *same* per-thread
+/// [`BlockedSpa`] allocation, so dispatching never grows the scratch
+/// beyond the planner's per-thread budget.
+trait UnitSpa {
+    fn reset_shape(&mut self, rows: usize, width: usize);
+    fn accumulate(&mut self, row: usize, col: usize, v: f64);
+    fn drain_row(&mut self, row: usize, base: u32, cols: &mut Vec<u32>, vals: &mut Vec<f64>);
+    fn clear(&mut self);
+}
+
+impl UnitSpa for BlockedSpa {
+    fn reset_shape(&mut self, rows: usize, width: usize) {
+        BlockedSpa::reset_shape(self, rows, width)
+    }
+    #[inline]
+    fn accumulate(&mut self, row: usize, col: usize, v: f64) {
+        BlockedSpa::accumulate(self, row, col, v)
+    }
+    fn drain_row(&mut self, row: usize, base: u32, cols: &mut Vec<u32>, vals: &mut Vec<f64>) {
+        BlockedSpa::drain_row(self, row, base, cols, vals)
+    }
+    fn clear(&mut self) {
+        BlockedSpa::clear(self)
+    }
+}
+
+/// The dense kernel: the same [`BlockedSpa`] driven in its unmasked mode
+/// (no occupancy maintenance per accumulate, full-width scan-and-wipe
+/// extraction) — the profitable trade for blocks predicted to fill.
+struct DenseMode<'a>(&'a mut BlockedSpa);
+
+impl UnitSpa for DenseMode<'_> {
+    fn reset_shape(&mut self, rows: usize, width: usize) {
+        BlockedSpa::reset_shape(self.0, rows, width)
+    }
+    #[inline]
+    fn accumulate(&mut self, row: usize, col: usize, v: f64) {
+        self.0.accumulate_dense(row, col, v)
+    }
+    fn drain_row(&mut self, row: usize, base: u32, cols: &mut Vec<u32>, vals: &mut Vec<f64>) {
+        self.0.drain_row_dense(row, base, cols, vals)
+    }
+    fn clear(&mut self) {
+        BlockedSpa::clear(self.0)
+    }
+}
+
+/// Predicted-fill dispatch threshold: expected accumulate writes per
+/// scratch slot at or above which a block runs on the plain dense kernel.
+/// At half a write per slot most occupancy words are populated anyway, so
+/// the mask OR + touched-word bookkeeping per accumulate buys nothing and
+/// the dense kernel's full-width extraction wipe costs at most ~2 slots
+/// per write. Correctness never depends on the value — the kernels are
+/// bit-identical — so it only moves the crossover.
+const DENSE_FILL_THRESHOLD: f64 = 0.5;
+
+/// Whether `unit` should run on the dense kernel: predicted fill density
+/// from the profile quantities already on hand. The expected effectual
+/// multiplies landing in a (panel × block) unit are
+/// `occ_panel × occ_block / nnz` for unstructured sparsity (each of the
+/// panel's elements meets the streamed elements sharing its `k`
+/// coordinate; `Σ_k panel_k × block_k` with both factors proportional to
+/// their totals), and writes-per-slot is that over the unit's area.
+fn dense_kernel_for(a: &CsrMatrix, unit: &PlanUnit) -> bool {
+    let slots = unit.rows.len() as f64 * unit.cols.len() as f64;
+    let nnz = a.nnz() as f64;
+    if slots == 0.0 || nnz == 0.0 {
+        return false;
+    }
+    let occ_panel = a.row_range_nnz(unit.rows.start, unit.rows.end) as f64;
+    // The streamed block's occupancy: B columns [c0, c1) are A rows.
+    let occ_block = a.row_range_nnz(unit.cols.start, unit.cols.end) as f64;
+    occ_panel * occ_block >= DENSE_FILL_THRESHOLD * slots * nnz
+}
+
+/// Runs one column block on whichever kernel [`dense_kernel_for`] picks
+/// for `unit` — the single dispatch point both grid modes go through.
+#[allow(clippy::too_many_arguments)]
+fn run_block_dispatch<S: TileSource>(
+    a: &CsrMatrix,
+    spa: &mut BlockedSpa,
+    driver: &mut TileDriver<S>,
+    b: &CsrMatrix,
+    b_tiles: Option<&TileColPtr>,
+    config: &FunctionalConfig,
+    unit: &PlanUnit,
+    n: usize,
+    sink: BlockSink<'_>,
+) -> Result<(), EddoError> {
+    if dense_kernel_for(a, unit) {
+        run_block(
+            &mut DenseMode(spa),
+            driver,
+            b,
+            b_tiles,
+            config,
+            unit,
+            n,
+            sink,
+        )
+    } else {
+        run_block(spa, driver, b, b_tiles, config, unit, n, sink)
+    }
+}
+
+/// Where [`run_block`] extracts its rows to: per-row staging (a panel
+/// with several blocks, merged at the end) or straight into the flat
+/// output (single-block panels and 2-D grid units).
+enum BlockSink<'a> {
+    Staged(&'a mut [(Vec<u32>, Vec<f64>)]),
+    Direct {
+        row_lens: &'a mut Vec<usize>,
+        cols: &'a mut Vec<u32>,
+        vals: &'a mut Vec<f64>,
+    },
+}
+
+/// Executes one column block of a stationary panel: shapes `spa` to the
+/// unit, runs all its tile traversals through `driver`, and drains every
+/// row into `sink`. Generic over the accumulator kernel — the caller
+/// picks the masked or dense mode per unit via [`dense_kernel_for`].
+#[allow(clippy::too_many_arguments)]
+fn run_block<S: TileSource, A: UnitSpa>(
+    spa: &mut A,
+    driver: &mut TileDriver<S>,
+    b: &CsrMatrix,
+    b_tiles: Option<&TileColPtr>,
+    config: &FunctionalConfig,
+    unit: &PlanUnit,
+    n: usize,
+    sink: BlockSink<'_>,
+) -> Result<(), EddoError> {
+    let (m0, c0) = (unit.rows.start, unit.cols.start);
+    spa.reset_shape(unit.rows.len(), unit.cols.len());
+    for tj in unit.tiles.clone() {
+        if let Err(e) = traverse_tile(driver, b, b_tiles, config, tj, n, m0, c0, spa) {
+            // Restore the all-zero invariant before propagating.
+            spa.clear();
+            return Err(e);
+        }
+    }
+    // Extract in row order; blocks own disjoint column ranges and run
+    // left to right, so per-row concatenation preserves sorted order.
+    match sink {
+        BlockSink::Staged(staged) => {
+            for (lr, (row_cols, row_vals)) in staged.iter_mut().enumerate() {
+                spa.drain_row(lr, c0 as u32, row_cols, row_vals);
+            }
+        }
+        BlockSink::Direct {
+            row_lens,
+            cols,
+            vals,
+        } => {
+            for lr in 0..unit.rows.len() {
+                let before = cols.len();
+                spa.drain_row(lr, c0 as u32, cols, vals);
+                row_lens.push(cols.len() - before);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// One in-order traversal of the stationary tile against streamed tile
 /// `tj`, accumulating into `spa` (block-local columns, re-based at `c0`).
 /// On error the caller must restore the scratch invariant via
-/// [`BlockedSpa::clear`].
+/// [`UnitSpa::clear`].
 #[allow(clippy::too_many_arguments)]
-fn traverse_tile<S: TileSource>(
+fn traverse_tile<S: TileSource, A: UnitSpa>(
     driver: &mut TileDriver<S>,
     b: &CsrMatrix,
     b_tiles: Option<&TileColPtr>,
@@ -411,7 +624,7 @@ fn traverse_tile<S: TileSource>(
     n: usize,
     m0: usize,
     c0: usize,
-    spa: &mut BlockedSpa,
+    spa: &mut A,
 ) -> Result<(), EddoError> {
     let b_row_ptr = b.row_ptr();
     let b_cols = b.col_indices();
@@ -439,7 +652,9 @@ fn traverse_tile<S: TileSource>(
 /// Executes all B-tile traversals for stationary panel `ti`, one plan
 /// column block at a time (all blocks share the panel's buffer driver, so
 /// traversal order — and therefore every DRAM fetch count — is identical
-/// for every memory budget).
+/// for every memory budget). Each block runs on the accumulator kernel
+/// [`dense_kernel_for`] picks: the bitmask-blocked scratch in the sparse
+/// regime, the plain dense one when the block is predicted to fill.
 ///
 /// `b_tiles == None` is the memory-guarded fallback: B-row × tile ranges
 /// are found by per-element binary search, as in the seed engine.
@@ -457,16 +672,12 @@ fn run_panel(
     let tile = PanelElems::new(a, m0, m1);
     let overbooked = tile.len() > config.capacity;
 
-    // Bitmask-blocked SPA scratch spanning the panel's output rows × one
-    // plan column block. The scratch is thread-local and reused across
-    // panels and runs; extraction (`drain_row`) restores its all-zero
-    // invariant as it goes, so a sparse panel never pays an
-    // O(rows × width) wipe.
+    // SPA scratch spanning the panel's output rows × one plan column
+    // block. Both kernels are thread-local and reused across panels and
+    // runs; extraction restores the all-zero invariant as it goes.
     let panel_rows = m1 - m0;
-    let width = plan.block_cols();
     PANEL_SCRATCH.with(|scratch| {
         let spa = &mut *scratch.borrow_mut();
-        spa.reset_shape(panel_rows, width);
 
         let mut driver = TileDriver::new(tile, config)?;
         // Per-row staging across blocks. A single-block plan (the
@@ -484,29 +695,16 @@ fn run_panel(
         let mut vals: Vec<f64> = Vec::new();
 
         for unit in plan.panel_units(ti) {
-            let c0 = unit.cols.start;
-            for tj in unit.tiles.clone() {
-                if let Err(e) = traverse_tile(&mut driver, b, b_tiles, config, tj, n, m0, c0, spa) {
-                    // Restore the all-zero invariant before propagating.
-                    spa.clear();
-                    return Err(e);
-                }
-            }
-
-            // Extract this block in row order; blocks own disjoint column
-            // ranges and run left to right, so per-row concatenation
-            // preserves sorted column order.
-            if multi_block {
-                for (lr, (row_cols, row_vals)) in staged.iter_mut().enumerate() {
-                    spa.drain_row(lr, c0 as u32, row_cols, row_vals);
-                }
+            let sink = if multi_block {
+                BlockSink::Staged(&mut staged)
             } else {
-                for lr in 0..panel_rows {
-                    let before = cols.len();
-                    spa.drain_row(lr, c0 as u32, &mut cols, &mut vals);
-                    row_lens.push(cols.len() - before);
+                BlockSink::Direct {
+                    row_lens: &mut row_lens,
+                    cols: &mut cols,
+                    vals: &mut vals,
                 }
-            }
+            };
+            run_block_dispatch(a, spa, &mut driver, b, b_tiles, config, &unit, n, sink)?;
         }
 
         if multi_block {
@@ -534,7 +732,6 @@ fn run_unit(
     b: &CsrMatrix,
     b_tiles: Option<&TileColPtr>,
     config: &FunctionalConfig,
-    plan: &ExecutionPlan,
     unit: &PlanUnit,
 ) -> Result<(UnitOutput, UnitTraffic), EddoError> {
     let n = a.nrows();
@@ -543,28 +740,34 @@ fn run_unit(
     let occ = tile.len() as u64;
     let overbooked = tile.len() > config.capacity;
     let panel_rows = m1 - m0;
-    let c0 = unit.cols.start;
     // This unit's share of the streamed operand: the nonzeros of B columns
     // [c0, c1) are the nonzeros of A rows [c0, c1).
     let dram_b = a.row_range_nnz(unit.cols.start, unit.cols.end) as u64;
 
     PANEL_SCRATCH.with(|scratch| {
         let spa = &mut *scratch.borrow_mut();
-        spa.reset_shape(panel_rows, plan.block_cols());
         let mut driver = TileDriver::new(tile, config)?;
-        for tj in unit.tiles.clone() {
-            if let Err(e) = traverse_tile(&mut driver, b, b_tiles, config, tj, n, m0, c0, spa) {
-                spa.clear();
-                return Err(e);
-            }
-        }
         let mut row_lens = Vec::with_capacity(panel_rows);
         let mut cols: Vec<u32> = Vec::new();
         let mut vals: Vec<f64> = Vec::new();
-        for lr in 0..panel_rows {
-            let before = cols.len();
-            spa.drain_row(lr, c0 as u32, &mut cols, &mut vals);
-            row_lens.push(cols.len() - before);
+        let sink = BlockSink::Direct {
+            row_lens: &mut row_lens,
+            cols: &mut cols,
+            vals: &mut vals,
+        };
+        if dense_kernel_for(a, unit) {
+            run_block(
+                &mut DenseMode(spa),
+                &mut driver,
+                b,
+                b_tiles,
+                config,
+                unit,
+                n,
+                sink,
+            )?;
+        } else {
+            run_block(spa, &mut driver, b, b_tiles, config, unit, n, sink)?;
         }
 
         // The per-block reduction (see the module docs): block 0 is the
@@ -596,9 +799,12 @@ fn run_unit(
 }
 
 thread_local! {
-    /// Per-thread bitmask-blocked SPA scratch for [`run_panel`] /
-    /// [`run_unit`]: all-zero between panels by construction (extraction
-    /// drains it), reused across panels and runs on the same thread.
+    /// Per-thread SPA scratch for [`run_panel`] / [`run_unit`]: all-zero
+    /// between panels by construction (extraction drains it), reused
+    /// across panels and runs on the same thread. One allocation serves
+    /// both dispatch kernels — [`DenseMode`] is a view over it — so the
+    /// per-thread footprint stays within the planner's budget no matter
+    /// how blocks dispatch.
     static PANEL_SCRATCH: std::cell::RefCell<BlockedSpa> =
         std::cell::RefCell::new(BlockedSpa::new());
 }
@@ -943,6 +1149,7 @@ mod tests {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let result = run(&a, &config).unwrap();
         let reference = spmspm_a_at(&a);
@@ -967,6 +1174,7 @@ mod tests {
             overbooking: false,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let result = run(&a, &config).unwrap();
         assert!(approx_eq(&result.z, &spmspm_a_at(&a), 1e-9));
@@ -988,6 +1196,7 @@ mod tests {
                     overbooking,
                     mem_budget: MemBudget::Unbounded,
                     grid: GridMode::Panels,
+                    auto_plan: false,
                 };
                 let new = run(&a, &config).unwrap();
                 let old = reference_run(&a, &config).unwrap();
@@ -1014,6 +1223,7 @@ mod tests {
                 overbooking,
                 mem_budget: MemBudget::Unbounded,
                 grid: GridMode::Panels,
+                auto_plan: false,
             };
             let unbudgeted = run_with_threads(&a, &base, 1).unwrap();
             // Budgets from "one tile per block" through "everything", plus
@@ -1022,6 +1232,7 @@ mod tests {
                 let budgeted = FunctionalConfig {
                     mem_budget: MemBudget::bytes(bytes),
                     grid: GridMode::Panels,
+                    auto_plan: false,
                     ..base
                 };
                 for threads in [1, 3] {
@@ -1043,6 +1254,7 @@ mod tests {
             overbooking: true,
             mem_budget: MemBudget::bytes(16 * 16 * 8),
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let plan = config.execution_plan(a.nrows(), a.ncols());
         assert_eq!(plan.block_cols(), 16, "two 8-column tiles per block");
@@ -1064,12 +1276,14 @@ mod tests {
                 overbooking,
                 mem_budget: MemBudget::Unbounded,
                 grid: GridMode::Panels,
+                auto_plan: false,
             };
             let shared = run_with_threads(&a, &base, 1).unwrap();
             for bytes in [1u64, 16 * 8 * 8, 16 * 24 * 8, 1 << 20] {
                 let grid2d = FunctionalConfig {
                     mem_budget: MemBudget::bytes(bytes),
                     grid: GridMode::Grid2D,
+                    auto_plan: false,
                     ..base
                 };
                 for threads in [1, 3] {
@@ -1097,11 +1311,13 @@ mod tests {
                 overbooking,
                 mem_budget: MemBudget::bytes(16 * 8 * 8),
                 grid: GridMode::Grid2D,
+                auto_plan: false,
             };
             let shared = run_with_threads(
                 &a,
                 &FunctionalConfig {
                     grid: GridMode::Panels,
+                    auto_plan: false,
                     ..config
                 },
                 1,
@@ -1138,6 +1354,95 @@ mod tests {
     }
 
     #[test]
+    fn auto_plan_runs_the_cost_model_tiling_bit_identically() {
+        let a = small();
+        for overbooking in [false, true] {
+            for grid in [GridMode::Panels, GridMode::Grid2D] {
+                let auto_config = FunctionalConfig {
+                    capacity: 40,
+                    fifo_region: 8,
+                    rows_a: 32,
+                    cols_b: 8,
+                    overbooking,
+                    mem_budget: MemBudget::bytes(16 * 8 * 8),
+                    grid,
+                    auto_plan: true,
+                };
+                let chosen = auto_execution_plan(&a, &auto_config);
+                let fixed_config = FunctionalConfig {
+                    rows_a: chosen.rows_a(),
+                    auto_plan: false,
+                    ..auto_config
+                };
+                let auto = run_with_threads(&a, &auto_config, 2).unwrap();
+                let fixed = run_with_threads(&a, &fixed_config, 1).unwrap();
+                assert_eq!(auto, fixed, "ob={overbooking} grid={grid}");
+                // Tiling invariance of the output itself: still the
+                // reference product, bitwise, at the baseline tiling.
+                let oracle = reference_run(
+                    &a,
+                    &FunctionalConfig {
+                        auto_plan: false,
+                        ..auto_config
+                    },
+                )
+                .unwrap();
+                assert_eq!(auto.z, oracle.z);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_blocks_dispatch_to_the_dense_kernel() {
+        // A deterministic ~69 %-dense matrix: the single (panel × block)
+        // unit predicts `nnz / 1024` writes per slot, well beyond the
+        // dispatch threshold.
+        let triplets: Vec<(usize, usize, f64)> = (0..32usize)
+            .flat_map(|r| {
+                (0..32usize)
+                    .filter(move |c| (r * 32 + c) % 16 < 11)
+                    .map(move |c| (r, c, 0.5 + ((r * 7 + c) % 9) as f64 * 0.25))
+            })
+            .collect();
+        let a = CsrMatrix::from_triplets(32, 32, &triplets).unwrap();
+        assert!(a.nnz() > 512 + 100, "test needs a clearly dense matrix");
+        let config = FunctionalConfig {
+            capacity: 4_096,
+            fifo_region: 8,
+            rows_a: 32,
+            cols_b: 32,
+            overbooking: false,
+            mem_budget: MemBudget::Unbounded,
+            grid: GridMode::Panels,
+            auto_plan: false,
+        };
+        let plan = config.execution_plan(a.nrows(), a.ncols());
+        let unit = plan.unit(0, 0);
+        assert!(
+            dense_kernel_for(&a, &unit),
+            "a 60%-dense unit must pick the dense kernel"
+        );
+        // And a sparse matrix must not.
+        let sparse = small();
+        let splan = config.execution_plan(sparse.nrows(), sparse.ncols());
+        assert!(!dense_kernel_for(&sparse, &splan.unit(0, 0)));
+        // The dispatched run stays bit-identical to the seed engine.
+        let new = run_with_threads(&a, &config, 2).unwrap();
+        let old = reference_run(&a, &config).unwrap();
+        assert_eq!(new.z, old.z);
+        assert_eq!(new.dram_a_fetches, old.dram_a_fetches);
+        assert_eq!(new.dram_b_fetches, old.dram_b_fetches);
+        // Multi-block + 2-D grid over the dense kernel too.
+        let blocked = FunctionalConfig {
+            mem_budget: MemBudget::bytes(32 * 8 * 8),
+            grid: GridMode::Grid2D,
+            ..config
+        };
+        let b = run_with_threads(&a, &blocked, 3).unwrap();
+        assert_eq!(b, new);
+    }
+
+    #[test]
     fn thread_count_does_not_change_the_result() {
         let a = small();
         let config = FunctionalConfig {
@@ -1148,6 +1453,7 @@ mod tests {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let serial = run_with_threads(&a, &config, 1).unwrap();
         for threads in [2, 3, 8] {
@@ -1168,6 +1474,7 @@ mod tests {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let result = run(&a, &config).unwrap();
         // Closed form: occ + (n_b - 1) × bumped per tile.
@@ -1200,6 +1507,7 @@ mod tests {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let result = run(&a, &config).unwrap();
         let n_a = a.nrows().div_ceil(config.rows_a) as u64;
@@ -1217,6 +1525,7 @@ mod tests {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let buffet = FunctionalConfig {
             overbooking: false,
@@ -1247,6 +1556,7 @@ mod tests {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let r = run(&a, &config).unwrap();
         assert_eq!(r.z.nnz(), 0);
@@ -1264,6 +1574,7 @@ mod tests {
             &a,
             &FunctionalConfig {
                 grid: GridMode::Grid2D,
+                auto_plan: false,
                 ..config
             },
         )
@@ -1285,6 +1596,7 @@ mod tests {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let new = run_with_threads(&a, &config, 2).unwrap();
         let old = reference_run(&a, &config).unwrap();

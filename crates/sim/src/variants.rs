@@ -8,7 +8,7 @@ use tailors_tensor::MatrixProfile;
 
 use crate::arch::ArchConfig;
 use crate::dataflow::{simulate, simulate_gridded, simulate_planned};
-use crate::exec::{ExecutionPlan, GridMode, MemBudget};
+use crate::exec::{AutoPlanner, BufferParams, ExecutionPlan, GridMode, MemBudget};
 use crate::metrics::RunMetrics;
 use crate::plan::TilePlan;
 
@@ -160,6 +160,51 @@ impl Variant {
         ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &tile, budget)
     }
 
+    /// [`Variant::execution_plan`] through the budget-aware
+    /// [`AutoPlanner`]: the variant still picks the streamed tile width
+    /// (`gb_cols_b`) and the buffer discipline, but the panel height is
+    /// co-optimized against the column-block width `budget` induces,
+    /// with the variant's own `gb_rows_a` as the baseline candidate. The
+    /// refetch term is priced against the architecture's working-tile
+    /// capacity — the same buffer a functional replay drives — so the
+    /// engine's internal auto plan
+    /// ([`functional::auto_execution_plan`](crate::functional::auto_execution_plan))
+    /// lands on the identical tiling and serve-cache replays stay exact.
+    ///
+    /// # Panics
+    ///
+    /// As [`Variant::plan`].
+    pub fn auto_execution_plan(
+        &self,
+        profile: &MatrixProfile,
+        arch: &ArchConfig,
+        budget: MemBudget,
+    ) -> ExecutionPlan {
+        self.auto_execution_plan_for(profile, arch, budget, &self.plan(profile, arch))
+    }
+
+    /// [`Variant::auto_execution_plan`] with the tile plan already on
+    /// hand — the entry point for callers that have paid for
+    /// [`Variant::plan`] (the Swiftiles-sampling stage for the overbooked
+    /// variant) and must not pay for it twice: [`Variant::run_auto`] and
+    /// the serving layer's plan-tier miss path.
+    pub fn auto_execution_plan_for(
+        &self,
+        profile: &MatrixProfile,
+        arch: &ArchConfig,
+        budget: MemBudget,
+        tile: &TilePlan,
+    ) -> ExecutionPlan {
+        AutoPlanner::new(profile, tile.gb_cols_b.max(1), budget)
+            .with_buffer(BufferParams {
+                capacity: (arch.tile_capacity() as usize).max(1),
+                fifo_region: arch.gb_fifo_region() as usize,
+                overbooking: tile.overbooking,
+            })
+            .with_baseline(tile.gb_rows_a.max(1))
+            .plan()
+    }
+
     /// Plans and simulates this variant on a workload in one call.
     pub fn run(&self, profile: &MatrixProfile, arch: &ArchConfig) -> RunMetrics {
         simulate(profile, arch, self.plan(profile, arch))
@@ -190,6 +235,30 @@ impl Variant {
         grid: GridMode,
     ) -> RunMetrics {
         simulate_gridded(profile, arch, self.plan(profile, arch), budget, grid)
+    }
+
+    /// [`Variant::run_gridded`] with the *software* execution plan chosen
+    /// by the budget-aware auto planner
+    /// ([`Variant::auto_execution_plan`]) instead of fixed at the
+    /// variant's panel height. The modeled hardware counts are untouched
+    /// — the variant's [`TilePlan`] still drives the dataflow — so the
+    /// metrics differ from [`Variant::run_gridded`] only in
+    /// [`RunMetrics::scratch`] (block count, scratch bytes, parallel
+    /// width). Strictly opt-in: no existing entry point routes here.
+    ///
+    /// # Panics
+    ///
+    /// As [`Variant::plan`].
+    pub fn run_auto(
+        &self,
+        profile: &MatrixProfile,
+        arch: &ArchConfig,
+        budget: MemBudget,
+        grid: GridMode,
+    ) -> RunMetrics {
+        let tile = self.plan(profile, arch);
+        let exec = self.auto_execution_plan_for(profile, arch, budget, &tile);
+        simulate_planned(profile, arch, tile, &exec, grid)
     }
 
     /// [`Variant::run_gridded`] with the planning stages precomputed: the

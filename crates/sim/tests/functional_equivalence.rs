@@ -11,7 +11,9 @@
 //! *exactly* to the shared-driver totals at every thread count.
 
 use proptest::prelude::*;
-use tailors_sim::functional::{reference_run, run_grid, run_with_threads, FunctionalConfig};
+use tailors_sim::functional::{
+    auto_execution_plan, reference_run, run_grid, run_with_threads, FunctionalConfig,
+};
 use tailors_sim::{GridMode, MemBudget};
 use tailors_tensor::gen::GenSpec;
 use tailors_tensor::ops::{approx_eq, spmspm_a_at};
@@ -61,6 +63,7 @@ proptest! {
             overbooking,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         check_equivalent(&a, &config, threads);
     }
@@ -97,10 +100,12 @@ proptest! {
             overbooking,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let budgeted_config = FunctionalConfig {
             mem_budget: MemBudget::bytes(budget_bytes),
             grid: if grid2d { GridMode::Grid2D } else { GridMode::Panels },
+            auto_plan: false,
             ..base
         };
         let unbudgeted = run_with_threads(&a, &base, 1).expect("unbudgeted run");
@@ -111,6 +116,65 @@ proptest! {
         prop_assert_eq!(budgeted.dram_a_fetches, oracle.dram_a_fetches);
         prop_assert_eq!(budgeted.dram_b_fetches, oracle.dram_b_fetches);
         prop_assert_eq!(budgeted.overbooked_a_tiles, oracle.overbooked_a_tiles);
+    }
+
+    /// Budget-aware auto-planned runs, on arbitrary inputs: the engine
+    /// re-plans the panel height, so the run must be bit-identical to a
+    /// *fixed* run at the chosen height — every field, every thread
+    /// count, both grids — and therefore to the seed engine at that
+    /// tiling (which also pins the output matrix to the reference
+    /// product, since the output never depends on the tiling at all).
+    #[test]
+    fn auto_planned_runs_are_bit_identical_to_reference(
+        seed in 0u64..40,
+        heavy in proptest::bool::ANY,
+        capacity in 8usize..120,
+        fifo_frac in 1usize..90,
+        rows_a in 1usize..70,
+        cols_b in 1usize..70,
+        overbooking in proptest::bool::ANY,
+        threads in 1usize..5,
+        budget_bytes in 0u64..40_000,
+        grid2d in proptest::bool::ANY,
+    ) {
+        let spec = if heavy {
+            GenSpec::power_law(48, 48, 400)
+        } else {
+            GenSpec::uniform(48, 48, 300)
+        };
+        let a = spec.seed(seed).generate();
+        let auto_config = FunctionalConfig {
+            capacity,
+            fifo_region: (capacity * fifo_frac / 100).clamp(1, capacity - 1),
+            rows_a,
+            cols_b,
+            overbooking,
+            mem_budget: MemBudget::bytes(budget_bytes),
+            grid: if grid2d { GridMode::Grid2D } else { GridMode::Panels },
+            auto_plan: true,
+        };
+        let chosen = auto_execution_plan(&a, &auto_config);
+        let fixed_config = FunctionalConfig {
+            rows_a: chosen.rows_a(),
+            auto_plan: false,
+            ..auto_config
+        };
+        let auto = run_with_threads(&a, &auto_config, threads).expect("auto run");
+        let fixed = run_with_threads(&a, &fixed_config, 1).expect("fixed run at chosen height");
+        prop_assert_eq!(&auto, &fixed);
+        let oracle = reference_run(&a, &fixed_config).expect("seed engine");
+        prop_assert_eq!(&auto.z, &oracle.z);
+        prop_assert_eq!(auto.dram_a_fetches, oracle.dram_a_fetches);
+        prop_assert_eq!(auto.dram_b_fetches, oracle.dram_b_fetches);
+        prop_assert_eq!(auto.overbooked_a_tiles, oracle.overbooked_a_tiles);
+        // The output matrix is additionally tiling-invariant: identical
+        // to the seed engine at the *baseline* tiling too.
+        let baseline_oracle = reference_run(
+            &a,
+            &FunctionalConfig { auto_plan: false, ..auto_config },
+        )
+        .expect("seed engine at baseline tiling");
+        prop_assert_eq!(&auto.z, &baseline_oracle.z);
     }
 
     /// The 2-D grid's block-local accounting, on arbitrary inputs:
@@ -145,6 +209,7 @@ proptest! {
             overbooking,
             mem_budget: MemBudget::bytes(budget_bytes),
             grid: GridMode::Grid2D,
+            auto_plan: false,
         };
         let shared = run_with_threads(
             &a,
@@ -191,6 +256,7 @@ fn engines_agree_on_empty_matrix() {
             overbooking,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         check_equivalent(&a, &config, 3);
     }
@@ -209,6 +275,7 @@ fn engines_agree_on_single_row_panels() {
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
         grid: GridMode::Panels,
+        auto_plan: false,
     };
     check_equivalent(&a, &config, 4);
 }
@@ -226,6 +293,7 @@ fn engines_agree_on_heavily_overbooked_tiles() {
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
         grid: GridMode::Panels,
+        auto_plan: false,
     };
     let result = run_with_threads(&a, &config, 2).unwrap();
     assert_eq!(result.overbooked_a_tiles, 2, "both tiles must overbook");
@@ -243,6 +311,7 @@ fn engines_agree_on_one_by_one_matrix() {
         overbooking: false,
         mem_budget: MemBudget::Unbounded,
         grid: GridMode::Panels,
+        auto_plan: false,
     };
     check_equivalent(&a, &config, 1);
 }

@@ -219,12 +219,15 @@ impl<'a> Fiber<'a> {
     }
 
     /// [`Fiber::intersect_counted`] by the bitmask-blocked walk,
-    /// unconditionally: coordinates are grouped into 64-wide blocks
-    /// (`coord >> 6`); for each block both streams touch, a `u64`
-    /// membership mask is built per stream with shift/OR (a
-    /// SIMD-friendly, branch-predictable inner loop) and the match count
-    /// is one `AND` + popcount. Blocks only one stream touches are
-    /// skipped whole.
+    /// unconditionally: coordinates are grouped into 256-wide superblocks
+    /// (`coord >> 8`, four `u64` occupancy words); for each superblock
+    /// both streams touch, a `[u64; 4]` membership mask is built per
+    /// stream with shift/OR (one branch-predictable pass per stream, the
+    /// word picked by two middle coordinate bits) and the match count is
+    /// four independent `AND` + popcounts — wide enough for the compiler
+    /// to keep the reductions in flight, and a 4× coarser outer loop than
+    /// the original one-word walk. Superblocks only one stream touches
+    /// are skipped whole.
     ///
     /// Returns exactly what [`Fiber::intersect_counted_linear`] returns:
     /// `matches` is the true intersection size, and `scanned` is
@@ -238,30 +241,35 @@ impl<'a> Fiber<'a> {
         let (mut ai, mut bi) = (0usize, 0usize);
         let mut matches = 0usize;
         while ai < a.len() && bi < b.len() {
-            let wa = a[ai] >> 6;
-            let wb = b[bi] >> 6;
-            if wa < wb {
+            let sa = a[ai] >> 8;
+            let sb = b[bi] >> 8;
+            if sa < sb {
                 ai += 1;
-                while ai < a.len() && a[ai] >> 6 < wb {
+                while ai < a.len() && a[ai] >> 8 < sb {
                     ai += 1;
                 }
-            } else if wb < wa {
+            } else if sb < sa {
                 bi += 1;
-                while bi < b.len() && b[bi] >> 6 < wa {
+                while bi < b.len() && b[bi] >> 8 < sa {
                     bi += 1;
                 }
             } else {
-                let mut mask_a = 0u64;
-                while ai < a.len() && a[ai] >> 6 == wa {
-                    mask_a |= 1u64 << (a[ai] & 63);
+                let mut mask_a = [0u64; 4];
+                while ai < a.len() && a[ai] >> 8 == sa {
+                    let c = a[ai];
+                    mask_a[((c >> 6) & 3) as usize] |= 1u64 << (c & 63);
                     ai += 1;
                 }
-                let mut mask_b = 0u64;
-                while bi < b.len() && b[bi] >> 6 == wa {
-                    mask_b |= 1u64 << (b[bi] & 63);
+                let mut mask_b = [0u64; 4];
+                while bi < b.len() && b[bi] >> 8 == sa {
+                    let c = b[bi];
+                    mask_b[((c >> 6) & 3) as usize] |= 1u64 << (c & 63);
                     bi += 1;
                 }
-                matches += (mask_a & mask_b).count_ones() as usize;
+                matches += (mask_a[0] & mask_b[0]).count_ones() as usize
+                    + (mask_a[1] & mask_b[1]).count_ones() as usize
+                    + (mask_a[2] & mask_b[2]).count_ones() as usize
+                    + (mask_a[3] & mask_b[3]).count_ones() as usize;
             }
         }
         let (ai_end, bi_end) = merge_endpoints(a, b);

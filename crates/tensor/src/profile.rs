@@ -27,6 +27,9 @@ pub struct MatrixProfile {
     col_nnz: Vec<u32>,
     /// Prefix sums over `row_nnz`, length `nrows + 1`.
     row_prefix: Vec<u64>,
+    /// Largest single-row count, cached so single-row-panel capacity
+    /// checks (the floor of every prescient search) are O(1).
+    max_row_nnz: u32,
 }
 
 impl MatrixProfile {
@@ -45,9 +48,11 @@ impl MatrixProfile {
         let mut row_prefix = Vec::with_capacity(nrows + 1);
         let mut acc = 0u64;
         row_prefix.push(0);
+        let mut max_row_nnz = 0u32;
         for &n in &row_nnz {
             acc += n as u64;
             row_prefix.push(acc);
+            max_row_nnz = max_row_nnz.max(n);
         }
         MatrixProfile {
             nrows,
@@ -55,6 +60,7 @@ impl MatrixProfile {
             row_nnz,
             col_nnz,
             row_prefix,
+            max_row_nnz,
         }
     }
 
@@ -83,6 +89,12 @@ impl MatrixProfile {
         &self.col_nnz
     }
 
+    /// Largest single-row count — the maximum occupancy of a one-row
+    /// panel, cached at construction. O(1).
+    pub fn max_row_nnz(&self) -> u32 {
+        self.max_row_nnz
+    }
+
     /// Fraction of the coordinate space that is zero (Table 2's "Sparsity").
     pub fn sparsity(&self) -> f64 {
         let size = self.nrows as f64 * self.ncols as f64;
@@ -107,6 +119,45 @@ impl MatrixProfile {
     pub fn row_range_nnz(&self, lo: usize, hi: usize) -> u64 {
         assert!(lo <= hi && hi <= self.nrows, "row range out of bounds");
         self.row_prefix[hi] - self.row_prefix[lo]
+    }
+
+    /// The row-count prefix sums (`nrows + 1` entries, `prefix[i]` =
+    /// nonzeros in rows `0..i`). The raw array behind
+    /// [`MatrixProfile::row_range_nnz`], exposed so per-panel sweeps can
+    /// walk it directly.
+    pub fn row_prefix(&self) -> &[u64] {
+        &self.row_prefix
+    }
+
+    /// Occupancies of consecutive `rows_per_tile`-row panels, in panel
+    /// order (the last panel may be ragged). A tight walk over the prefix
+    /// sums — no per-panel bounds checks or index arithmetic beyond one
+    /// subtraction — which is what lets the analytical model sweep
+    /// near-per-row tilings (`rows_per_tile` of a few) over million-row
+    /// tensors inside its hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_tile == 0`.
+    pub fn panel_occupancies(&self, rows_per_tile: usize) -> impl Iterator<Item = u64> + '_ {
+        assert!(rows_per_tile > 0, "rows_per_tile must be positive");
+        // Prefix values at panel boundaries: every rows_per_tile-th entry
+        // (the whole panels), then the final total once more if a ragged
+        // tail panel remains.
+        let ragged = !self.nrows.is_multiple_of(rows_per_tile);
+        let bounds = self
+            .row_prefix
+            .iter()
+            .skip(rows_per_tile)
+            .step_by(rows_per_tile)
+            .copied()
+            .chain(ragged.then(|| self.nnz()));
+        let mut prev = 0u64;
+        bounds.map(move |b| {
+            let occ = b - prev;
+            prev = b;
+            occ
+        })
     }
 
     /// Exact count of effectual scalar multiplications for `Z = A·Aᵀ`.
@@ -171,6 +222,22 @@ mod tests {
     #[should_panic(expected = "row and column totals")]
     fn mismatched_totals_panic() {
         let _ = MatrixProfile::new(2, 2, vec![1, 1], vec![3, 0]);
+    }
+
+    #[test]
+    fn panel_occupancies_match_range_sums() {
+        let p = MatrixProfile::new(5, 3, vec![2, 0, 1, 4, 3], vec![4, 3, 3]);
+        for rpt in 1..=6 {
+            let direct: Vec<u64> = p.panel_occupancies(rpt).collect();
+            let expected: Vec<u64> = (0..5usize.div_ceil(rpt))
+                .map(|i| p.row_range_nnz(i * rpt, ((i + 1) * rpt).min(5)))
+                .collect();
+            assert_eq!(direct, expected, "rows_per_tile={rpt}");
+            assert_eq!(direct.iter().sum::<u64>(), p.nnz());
+        }
+        let empty = MatrixProfile::new(0, 0, vec![], vec![]);
+        assert_eq!(empty.panel_occupancies(3).count(), 0);
+        assert_eq!(p.row_prefix(), &[0, 2, 2, 3, 7, 10]);
     }
 
     #[test]

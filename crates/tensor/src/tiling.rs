@@ -138,14 +138,31 @@ impl<'a> RowPanels<'a> {
         (0..self.n_tiles()).map(move |i| self.tile(i))
     }
 
-    /// Iterates over tile occupancies only.
+    /// Iterates over tile occupancies only — a tight prefix-sum walk
+    /// ([`MatrixProfile::panel_occupancies`]), with no per-tile index
+    /// arithmetic, so near-per-row tilings over million-row tensors stay
+    /// cheap in the analytical model's hot loops.
     pub fn occupancies(&self) -> impl Iterator<Item = u64> + '_ {
-        (0..self.n_tiles()).map(move |i| self.occupancy(i))
+        self.profile.panel_occupancies(self.rows_per_tile)
     }
 
     /// Maximum tile occupancy. Returns 0 for an empty tiling.
     pub fn max_occupancy(&self) -> u64 {
         self.occupancies().max().unwrap_or(0)
+    }
+
+    /// Whether every tile's occupancy fits a buffer of `capacity` nonzero
+    /// slots. Short-circuits at the first overflowing tile, unlike
+    /// `max_occupancy() <= capacity` which always walks the whole tiling —
+    /// the difference dominates prescient candidate search, where most
+    /// candidates fail early.
+    pub fn fits_within(&self, capacity: u64) -> bool {
+        if self.rows_per_tile == 1 {
+            // Single-row panels: the max occupancy is cached on the
+            // profile, so the floor of every prescient search is O(1).
+            return self.profile.max_row_nnz() as u64 <= capacity;
+        }
+        self.occupancies().all(|occ| occ <= capacity)
     }
 
     /// Fraction of tiles whose occupancy exceeds `capacity` — the paper's
@@ -162,12 +179,61 @@ impl<'a> RowPanels<'a> {
     /// Average buffer utilization across tiles for a buffer of `capacity`
     /// nonzero slots (overbooked tiles count as 100 % full).
     pub fn mean_utilization(&self, capacity: u64) -> f64 {
-        let n = self.n_tiles();
-        if n == 0 || capacity == 0 {
-            return 0.0;
-        }
-        self.iter().map(|t| t.utilization(capacity)).sum::<f64>() / n as f64
+        self.capacity_summary(capacity).mean_utilization
     }
+
+    /// [`RowPanels::mean_utilization`], [`RowPanels::overbooking_rate`],
+    /// and [`RowPanels::max_occupancy`] in one fused pass over the
+    /// occupancies — the strategy planners need all of them per candidate
+    /// tiling, and three separate walks over a near-per-row tiling of a
+    /// million-row tensor is pure waste.
+    pub fn capacity_summary(&self, capacity: u64) -> CapacitySummary {
+        let n = self.n_tiles();
+        if n == 0 {
+            return CapacitySummary::default();
+        }
+        let mut clamped_sum = 0u64;
+        let mut overbooked = 0usize;
+        let mut max = 0u64;
+        if self.rows_per_tile == 1 {
+            // Single-row panels are the per-row counts themselves; walk
+            // the flat `u32` slice instead of the prefix-difference chain.
+            for &occ in self.profile.row_nnz() {
+                let occ = occ as u64;
+                clamped_sum += occ.min(capacity);
+                overbooked += usize::from(occ > capacity);
+                max = max.max(occ);
+            }
+        } else {
+            for occ in self.occupancies() {
+                clamped_sum += occ.min(capacity);
+                overbooked += usize::from(occ > capacity);
+                max = max.max(occ);
+            }
+        }
+        CapacitySummary {
+            mean_utilization: if capacity == 0 {
+                0.0
+            } else {
+                clamped_sum as f64 / capacity as f64 / n as f64
+            },
+            overbooking_rate: overbooked as f64 / n as f64,
+            max_occupancy: max,
+        }
+    }
+}
+
+/// Fused per-tiling capacity statistics (see
+/// [`RowPanels::capacity_summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CapacitySummary {
+    /// Mean buffer utilization across tiles (overbooked tiles count as
+    /// 100 % full); 0.0 for a zero-capacity buffer.
+    pub mean_utilization: f64,
+    /// Fraction of tiles whose occupancy exceeds the capacity.
+    pub overbooking_rate: f64,
+    /// Largest tile occupancy.
+    pub max_occupancy: u64,
 }
 
 /// Computes the occupancy of every 2-D coordinate-space tile of
@@ -260,6 +326,41 @@ mod tests {
         // occ [3,6,1] with cap 6 -> (0.5 + 1.0 + 1/6) / 3
         let expected = (0.5 + 1.0 + 1.0 / 6.0) / 3.0;
         assert!((panels.mean_utilization(6) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_summary_matches_separate_passes() {
+        let p = profile();
+        for rpt in [1, 2, 3, 5] {
+            let panels = RowPanels::new(&p, rpt);
+            for cap in [0u64, 1, 3, 5, 6, 100] {
+                let s = panels.capacity_summary(cap);
+                assert!(
+                    (s.mean_utilization
+                        - if cap == 0 {
+                            0.0
+                        } else {
+                            panels.iter().map(|t| t.utilization(cap)).sum::<f64>()
+                                / panels.n_tiles() as f64
+                        })
+                    .abs()
+                        < 1e-12,
+                    "rpt={rpt} cap={cap}"
+                );
+                assert!(
+                    (s.overbooking_rate - panels.overbooking_rate(cap)).abs() < 1e-12,
+                    "rpt={rpt} cap={cap}"
+                );
+                assert_eq!(s.max_occupancy, panels.max_occupancy());
+                assert_eq!(panels.fits_within(cap), s.max_occupancy <= cap);
+            }
+        }
+        assert_eq!(
+            RowPanels::new(&profile(), 2)
+                .capacity_summary(0)
+                .mean_utilization,
+            0.0
+        );
     }
 
     #[test]

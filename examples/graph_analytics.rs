@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
         grid: GridMode::Grid2D,
+        auto_plan: false,
     };
     let buffet_only = FunctionalConfig {
         overbooking: false,

@@ -24,6 +24,7 @@ fn functional_engine_is_correct_on_every_workload_family() {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let result = run(&a, &config).expect("functional run");
         let reference = spmspm_a_at(&a);
@@ -52,6 +53,7 @@ fn functional_traffic_matches_analytical_closed_form() {
         overbooking: true,
         mem_budget: MemBudget::Unbounded,
         grid: GridMode::Panels,
+        auto_plan: false,
     };
     let result = run(&a, &config).expect("functional run");
     // The 2-D grid's per-block accounting must reduce to the same closed
@@ -61,6 +63,7 @@ fn functional_traffic_matches_analytical_closed_form() {
         &FunctionalConfig {
             mem_budget: MemBudget::bytes(1),
             grid: GridMode::Grid2D,
+            auto_plan: false,
             ..config
         },
     )
@@ -128,6 +131,7 @@ fn budgeted_functional_runs_match_unbudgeted_on_workloads() {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let unbudgeted = run(&a, &base).expect("unbudgeted run");
         let one_tile_bytes = 8 * (base.rows_a as u64) * (base.cols_b as u64);
@@ -142,6 +146,7 @@ fn budgeted_functional_runs_match_unbudgeted_on_workloads() {
                     &FunctionalConfig {
                         mem_budget: budget,
                         grid,
+                        auto_plan: false,
                         ..base
                     },
                 )
@@ -182,6 +187,7 @@ fn tailors_never_worse_than_buffets() {
             overbooking: true,
             mem_budget: MemBudget::Unbounded,
             grid: GridMode::Panels,
+            auto_plan: false,
         };
         let tailors = run(&a, &base).expect("tailors run");
         let buffets = run(
