@@ -266,12 +266,38 @@ fn bench_serving(c: &mut Criterion) {
             black_box(service.submit_batch(&reqs, 1))
         })
     });
-    let service = SimService::new();
+    let service = std::sync::Arc::new(SimService::new());
     service.submit_batch(&reqs, 1);
     g.bench_function("suite_batch_hot_1_64", |bch| {
         bch.iter(|| black_box(service.submit_batch(&reqs, 1)))
     });
+    // The same hot batch pushed through the full service runtime — JSON
+    // codec, loopback TCP, bounded mailbox, worker pool — against the
+    // same warmed cache tiers. The gap to `suite_batch_hot_1_64` is the
+    // wire front door's per-request overhead.
+    let runtime = std::sync::Arc::new(tailors_serve::ServiceRuntime::over(
+        std::sync::Arc::clone(&service),
+        tailors_serve::RuntimeConfig::default(),
+    ));
+    let mut server =
+        tailors_serve::WireTcpServer::spawn(std::sync::Arc::clone(&runtime), "127.0.0.1:0")
+            .expect("bind wire server");
+    let mut client = tailors_serve::WireClient::connect(server.addr()).expect("connect");
+    g.bench_function("wire_overhead_hot_1_64", |bch| {
+        bch.iter(|| {
+            for req in &reqs {
+                black_box(
+                    client
+                        .sim(req)
+                        .expect("wire protocol")
+                        .expect("request served"),
+                );
+            }
+        })
+    });
     g.finish();
+    server.stop();
+    runtime.shutdown();
     drop(pinned);
 }
 

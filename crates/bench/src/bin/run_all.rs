@@ -33,6 +33,14 @@
 //! [`SimService`](https://docs.rs/tailors-serve) with `--verify`, proving
 //! plan-hot steady-state responses bit-identical to cold `Variant` runs.
 //! All the knobs above reach it through the same environment variables.
+//!
+//! `--wire` appends the wire-transport smoke (`serve --wire-smoke`): the
+//! same suite sweep driven through the fault-tolerant service runtime —
+//! line-delimited JSON over a real TCP socket, bounded mailboxes, worker
+//! pool — verified bit-identical against an in-process baseline and
+//! fully accounted. Set `TAILORS_FAULTS` (e.g. `panic:7,latency:3`) to
+//! run it under deterministic fault injection; it inherits the
+//! environment.
 
 use std::process::Command;
 
@@ -44,9 +52,10 @@ fn main() {
     let mut auto_plan = false;
     let mut gen_cache = true;
     let mut serve = false;
+    let mut wire = false;
     let mut args = std::env::args().skip(1);
     const USAGE: &str = "usage: run_all [scale] [--threads N] [--mem-budget SPEC] [--grid MODE] \
-         [--auto-plan] [--no-gen-cache] [--serve]";
+         [--auto-plan] [--no-gen-cache] [--serve] [--wire]";
     while let Some(arg) = args.next() {
         if arg == "--threads" {
             let n = args.next().expect("--threads requires a value");
@@ -74,6 +83,8 @@ fn main() {
             gen_cache = false;
         } else if arg == "--serve" {
             serve = true;
+        } else if arg == "--wire" {
+            wire = true;
         } else if arg.starts_with('-') {
             panic!("unknown flag {arg:?}; {USAGE}");
         } else if scale.is_none() {
@@ -85,18 +96,31 @@ fn main() {
     let scale = scale.unwrap_or_else(|| "1.0".to_string());
     let cache_dir =
         std::env::var("TAILORS_GEN_CACHE").unwrap_or_else(|_| "target/gen-cache".to_string());
-    let mut bins = vec![
-        "table2", "fig1", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    let mut bins: Vec<(&str, &str, &[&str])> = vec![
+        ("table2", "table2", &[]),
+        ("fig1", "fig1", &[]),
+        ("table1", "table1", &[]),
+        ("fig7", "fig7", &[]),
+        ("fig8", "fig8", &[]),
+        ("fig9", "fig9", &[]),
+        ("fig10", "fig10", &[]),
+        ("fig11", "fig11", &[]),
+        ("fig12", "fig12", &[]),
+        ("fig13", "fig13", &[]),
     ];
-    let serve_args = ["--sweeps", "3", "--verify"];
     if serve {
         // The serving sweep rides at the end so its generation-cache hits
         // demonstrate the cross-binary disk tier too.
-        bins.push("serve");
+        bins.push(("serve", "serve", &["--sweeps", "3", "--verify"]));
     }
-    for bin in bins {
+    if wire {
+        // Last: the wire smoke exercises the full runtime stack (codec,
+        // TCP, mailbox, workers) over the already-cached suite tensors.
+        bins.push(("serve --wire-smoke", "serve", &["--wire-smoke"]));
+    }
+    for (label, bin, extra) in bins {
         println!();
-        println!("==================== {bin} ====================");
+        println!("==================== {label} ====================");
         let mut cmd = Command::new(
             std::env::current_exe()
                 .expect("self path")
@@ -105,9 +129,7 @@ fn main() {
                 .join(bin),
         );
         cmd.arg(&scale);
-        if bin == "serve" {
-            cmd.args(serve_args);
-        }
+        cmd.args(extra);
         if let Some(t) = &threads {
             cmd.env("TAILORS_THREADS", t);
         }
@@ -128,8 +150,8 @@ fn main() {
         let status = cmd.status();
         match status {
             Ok(s) if s.success() => {}
-            Ok(s) => eprintln!("{bin} exited with {s}"),
-            Err(e) => eprintln!("failed to launch {bin}: {e}"),
+            Ok(s) => eprintln!("{label} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {label}: {e}"),
         }
     }
 }

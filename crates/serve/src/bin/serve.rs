@@ -5,7 +5,26 @@
 //!
 //! Usage: `cargo run --release -p tailors-serve --bin serve --
 //! [scale] [--sweeps N] [--threads N] [--mem-budget SPEC] [--grid MODE]
-//! [--auto-plan] [--verify] [--smoke-functional]`
+//! [--auto-plan] [--verify] [--smoke-functional]
+//! [--wire ADDR | --wire-stdio | --wire-smoke]`
+//!
+//! The three `--wire*` modes run the fault-tolerant service runtime
+//! (bounded priority mailbox + worker pool + admission control; see
+//! `tailors_serve::runtime`) behind the line-delimited JSON wire
+//! protocol instead of the sweep driver:
+//!
+//! * `--wire ADDR` — TCP server on `ADDR` (port 0 picks an ephemeral
+//!   port; the bound address is printed). Serves until stdin reaches
+//!   EOF, then drains and reports.
+//! * `--wire-stdio` — serve requests from stdin, replies on stdout
+//!   (diagnostics go to stderr; stdout carries only protocol lines).
+//! * `--wire-smoke` — self-contained CI round trip: spawns the TCP
+//!   server, drives the suite batch through wire clients, and asserts
+//!   every completed reply is bit-identical to an in-process baseline
+//!   and that `completed + faulted + rejected + timed_out` accounts for
+//!   every submission. Honors `TAILORS_FAULTS` (e.g.
+//!   `panic:7,latency:3`), under which completed replies must *still*
+//!   be bit-identical and nothing may be lost.
 //!
 //! The batch is the full 22-workload suite × the three variants at
 //! `scale` (default 1.0), submitted through
@@ -24,9 +43,15 @@
 //! and diffs each result against the seed engine
 //! (`functional::reference_run`) under the identical configuration.
 
+use std::io::BufRead;
+use std::sync::Arc;
 use std::time::Instant;
 
-use tailors_serve::{FunctionalRequest, SimRequest, SimService};
+use tailors_serve::wire::{serve_lines, WireClient, WireTcpServer};
+use tailors_serve::{
+    FaultPlan, FunctionalRequest, Reply, RuntimeConfig, ServeError, ServiceRuntime, SimRequest,
+    SimService, Work,
+};
 use tailors_sim::functional::reference_run;
 use tailors_sim::{
     auto_plan_from_env, grid_from_env, mem_budget_from_env, threads_from_env, ArchConfig, GridMode,
@@ -43,6 +68,9 @@ fn main() {
     let mut auto_plan = false;
     let mut verify = false;
     let mut smoke_functional = false;
+    let mut wire_addr: Option<String> = None;
+    let mut wire_stdio = false;
+    let mut wire_smoke = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +98,9 @@ fn main() {
             "--auto-plan" => auto_plan = true,
             "--verify" => verify = true,
             "--smoke-functional" => smoke_functional = true,
+            "--wire" => wire_addr = Some(next("--wire")),
+            "--wire-stdio" => wire_stdio = true,
+            "--wire-smoke" => wire_smoke = true,
             other if !other.starts_with('-') => {
                 scale = other.parse().expect("scale: a number in (0, 1]");
                 assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
@@ -82,6 +113,19 @@ fn main() {
     let budget = budget.unwrap_or_else(mem_budget_from_env);
     let grid = grid.unwrap_or_else(grid_from_env);
     let auto_plan = auto_plan || auto_plan_from_env();
+
+    if wire_stdio {
+        run_wire_stdio(threads);
+        return;
+    }
+    if let Some(addr) = wire_addr {
+        run_wire_tcp(&addr, threads);
+        return;
+    }
+    if wire_smoke {
+        run_wire_smoke(scale, threads);
+        return;
+    }
 
     let variants = [
         Variant::ExTensorN,
@@ -261,4 +305,226 @@ fn functional_smoke(threads: usize, budget: MemBudget, grid: GridMode, auto_plan
         );
     }
     println!("functional smoke: all variants bit-identical to reference_run");
+}
+
+/// The runtime every wire mode serves from: worker pool sized from the
+/// thread knob, faults armed from `TAILORS_FAULTS`.
+fn wire_runtime(threads: usize) -> Arc<ServiceRuntime> {
+    let faults = FaultPlan::from_env();
+    if faults.is_active() {
+        eprintln!("wire: fault injection armed: {faults:?}");
+        // Injected panics are expected traffic here; keep their default
+        // hook output (message + backtrace) off stderr so the harness
+        // logs stay readable. Real panics still print.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.starts_with("injected fault"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    }
+    Arc::new(ServiceRuntime::new(RuntimeConfig {
+        workers: threads.clamp(1, 8),
+        faults,
+        ..RuntimeConfig::default()
+    }))
+}
+
+/// `--wire-stdio`: protocol lines on stdin/stdout, diagnostics on stderr.
+fn run_wire_stdio(threads: usize) {
+    let runtime = wire_runtime(threads);
+    eprintln!(
+        "wire: serving line-delimited JSON on stdio ({} workers)",
+        runtime.config().workers
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let report = serve_lines(&runtime, stdin.lock(), stdout.lock()).expect("stdio transport");
+    let shutdown = runtime.shutdown();
+    eprintln!(
+        "wire: served {} requests ({} protocol errors); outcomes {:?}; {} unserved",
+        report.served, report.protocol_errors, shutdown.stats, shutdown.unserved
+    );
+    assert_eq!(
+        shutdown.stats.accounted(),
+        shutdown.stats.submitted,
+        "request accounting must balance"
+    );
+}
+
+/// `--wire ADDR`: TCP front door; serves until stdin reaches EOF.
+fn run_wire_tcp(addr: &str, threads: usize) {
+    let runtime = wire_runtime(threads);
+    let mut server = WireTcpServer::spawn(Arc::clone(&runtime), addr).expect("bind wire server");
+    println!("wire: listening on {}", server.addr());
+    println!("wire: close stdin (ctrl-d) to drain and exit");
+    // Block until the controlling stream closes, then drain.
+    for _line in std::io::stdin().lock().lines() {}
+    server.stop();
+    let shutdown = runtime.shutdown();
+    println!(
+        "wire: drained; outcomes {:?}; {} unserved",
+        shutdown.stats, shutdown.unserved
+    );
+    assert_eq!(
+        shutdown.stats.accounted(),
+        shutdown.stats.submitted,
+        "request accounting must balance"
+    );
+}
+
+/// `--wire-smoke`: the CI round trip. Drives the suite batch through TCP
+/// wire clients against an in-process baseline; under `TAILORS_FAULTS`
+/// some requests fail with typed errors, but every *completed* reply must
+/// stay bit-identical and every submission must be accounted for.
+fn run_wire_smoke(scale: f64, threads: usize) {
+    let runtime = wire_runtime(threads);
+    let mut server =
+        WireTcpServer::spawn(Arc::clone(&runtime), "127.0.0.1:0").expect("bind wire server");
+    let addr = server.addr();
+
+    let variants = [
+        Variant::ExTensorN,
+        Variant::ExTensorP,
+        Variant::default_ob(),
+    ];
+    let batch: Vec<SimRequest> = tailors_workloads::suite()
+        .iter()
+        .flat_map(|wl| {
+            variants
+                .iter()
+                .filter_map(|&v| SimRequest::suite(wl.name, scale, v))
+        })
+        .collect();
+    println!(
+        "wire smoke: {} analytical requests at scale {scale} against {addr}",
+        batch.len()
+    );
+
+    // In-process baseline on a *separate* service: what every completed
+    // wire reply must match bitwise.
+    let baseline_service = SimService::new();
+    let baseline: Vec<_> = batch.iter().map(|r| baseline_service.submit(r)).collect();
+
+    let mut clients: Vec<WireClient> = (0..2)
+        .map(|_| WireClient::connect(addr).expect("connect wire client"))
+        .collect();
+    let (mut completed, mut faulted, mut rejected, mut timed_out) = (0u64, 0u64, 0u64, 0u64);
+    let t = Instant::now();
+    for (i, (req, expect)) in batch.iter().zip(&baseline).enumerate() {
+        let client = &mut clients[i % 2];
+        match client
+            .call(&Work::Sim(req.clone()))
+            .expect("wire transport")
+        {
+            Ok(Reply::Sim(resp)) => {
+                assert_eq!(resp.name, expect.name);
+                assert_eq!(
+                    resp.metrics, expect.metrics,
+                    "{}: wire reply diverged from the in-process baseline",
+                    expect.name
+                );
+                completed += 1;
+            }
+            Ok(Reply::Functional(_)) => panic!("functional reply to a sim request"),
+            Err(ServeError::Faulted { .. }) => faulted += 1,
+            Err(ServeError::Timeout { .. }) => timed_out += 1,
+            Err(e @ (ServeError::Overloaded(_) | ServeError::BadRequest(_))) => {
+                // Admission is sized generously for this batch; anything
+                // rejected here must be an *injected* fault, not policy.
+                assert!(
+                    FaultPlan::from_env().is_active(),
+                    "unexpected rejection without faults armed: {e}"
+                );
+                rejected += 1;
+            }
+            Err(ServeError::Shutdown) => panic!("server shut down mid-smoke"),
+        }
+    }
+
+    // One functional request rides along, proving the heavyweight payload
+    // (CSR output matrix included) survives the wire bit-for-bit.
+    let fwl = tailors_workloads::by_name("email-Enron")
+        .expect("suite workload")
+        .scaled(1.0 / 64.0);
+    let freq = FunctionalRequest {
+        workload: fwl,
+        variant: Variant::default_ob(),
+        arch: ArchConfig::extensor().scaled(1.0 / 64.0),
+        budget: MemBudget::mib(64),
+        grid: GridMode::Grid2D,
+        auto_plan: false,
+        threads: threads.clamp(1, 4),
+    };
+    match clients[0].functional(&freq).expect("wire transport") {
+        Ok(resp) => {
+            let direct = baseline_service
+                .run_functional(&freq)
+                .expect("baseline functional run");
+            assert_eq!(resp.config, direct.config);
+            assert_eq!(
+                resp.result, direct.result,
+                "functional wire reply diverged from the in-process baseline"
+            );
+            completed += 1;
+        }
+        Err(ServeError::Faulted { .. }) => faulted += 1,
+        Err(ServeError::Timeout { .. }) => timed_out += 1,
+        Err(ServeError::Shutdown) => panic!("server shut down mid-smoke"),
+        Err(_) => rejected += 1,
+    }
+    let elapsed = t.elapsed();
+
+    drop(clients);
+    server.stop();
+    let shutdown = runtime.shutdown();
+    let stats = shutdown.stats;
+    println!(
+        "wire smoke: {elapsed:.2?}; client view: {completed} completed, {faulted} faulted, \
+         {rejected} rejected, {timed_out} timed out"
+    );
+    println!(
+        "wire smoke: server view: {} submitted = {} completed + {} faulted + {} rejected + \
+         {} timed out ({} panics isolated, {} injected panics, {} injected latency, \
+         {} injected rejects); {} unserved at shutdown",
+        stats.submitted,
+        stats.completed,
+        stats.faulted,
+        stats.rejected,
+        stats.timed_out,
+        stats.panics_isolated,
+        stats.injected_panics,
+        stats.injected_latency,
+        stats.injected_rejects,
+        shutdown.unserved
+    );
+    // The accounting invariant: nothing lost, client and server agree.
+    assert_eq!(
+        stats.accounted(),
+        stats.submitted,
+        "request accounting must balance"
+    );
+    assert_eq!(
+        completed + faulted + rejected + timed_out,
+        stats.submitted,
+        "client outcomes must account for every submission"
+    );
+    assert!(completed > 0, "smoke must complete at least one request");
+    let faults = FaultPlan::from_env();
+    if faults.panic_every.is_some() {
+        assert!(
+            stats.panics_isolated > 0,
+            "panic injection was armed but no panic was isolated"
+        );
+        assert_eq!(
+            stats.panics_isolated, stats.injected_panics,
+            "every injected panic must be isolated (and nothing else may panic)"
+        );
+    }
+    println!("wire smoke: every completed reply bit-identical to the in-process baseline");
+    println!("OK");
 }

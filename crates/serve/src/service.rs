@@ -3,10 +3,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use tailors_eddo::EddoError;
-use tailors_sim::functional::{run_with_threads, FunctionalConfig, FunctionalResult};
+use tailors_sim::functional::{run_with_threads, EngineError, FunctionalConfig, FunctionalResult};
 use tailors_sim::{
     run_balanced, ArchConfig, ExecutionPlan, GridMode, MemBudget, RunMetrics, TilePlan, Variant,
 };
@@ -14,6 +13,7 @@ use tailors_tensor::{CsrMatrix, MatrixProfile};
 use tailors_workloads::{generate_cached, Workload};
 
 use crate::lru::Lru;
+use crate::sync::PoisonFreeMutex;
 
 /// The identity of a matrix for cache keying: its stable content hash
 /// (see [`CsrMatrix::content_hash`]) plus shape and nonzero count, so a
@@ -216,6 +216,14 @@ pub struct ServeStats {
     pub plan_hits: u64,
     /// Plan-tier misses (tile + execution plans were constructed).
     pub plan_misses: u64,
+    /// Profiles currently resident in the profile tier.
+    pub profile_resident: u64,
+    /// The profile tier's capacity bound.
+    pub profile_capacity: u64,
+    /// Plan pairs currently resident in the plan tier.
+    pub plan_resident: u64,
+    /// The plan tier's capacity bound.
+    pub plan_capacity: u64,
 }
 
 impl ServeStats {
@@ -226,6 +234,18 @@ impl ServeStats {
             1.0
         } else {
             self.plan_hits as f64 / total as f64
+        }
+    }
+
+    /// Plan-tier occupancy in `[0, 1]` — 1.0 means the tier is full and
+    /// every further distinct plan evicts another. Combined with a low
+    /// [`ServeStats::plan_hit_rate`] this is the thrash signal the
+    /// runtime's admission policy gates analytical requests on.
+    pub fn plan_pressure(&self) -> f64 {
+        if self.plan_capacity == 0 {
+            0.0
+        } else {
+            self.plan_resident as f64 / self.plan_capacity as f64
         }
     }
 
@@ -264,12 +284,15 @@ type PlanKey = (
 pub struct SimService {
     /// Workload spec → matrix identity, so analytical requests for a
     /// known spec never regenerate (or re-hash) the tensor. Unbounded:
-    /// entries are a handful of words each.
-    ids: Mutex<HashMap<SpecKey, MatrixId>>,
+    /// entries are a handful of words each. All three tiers sit behind
+    /// poison-recovering locks ([`PoisonFreeMutex`]) so a request that
+    /// panics under the runtime's `catch_unwind` isolation cannot wedge
+    /// the caches for every later request.
+    ids: PoisonFreeMutex<HashMap<SpecKey, MatrixId>>,
     /// Tier 2: matrix identity → occupancy profile.
-    profiles: Mutex<Lru<MatrixId, Arc<MatrixProfile>>>,
+    profiles: PoisonFreeMutex<Lru<MatrixId, Arc<MatrixProfile>>>,
     /// Tier 3: (matrix, variant, arch, budget) → (tile plan, exec plan).
-    plans: Mutex<Lru<PlanKey, Planned>>,
+    plans: PoisonFreeMutex<Lru<PlanKey, Planned>>,
     requests: AtomicU64,
     functional_requests: AtomicU64,
     profile_hits: AtomicU64,
@@ -297,9 +320,9 @@ impl SimService {
     /// Panics if either capacity is zero.
     pub fn with_config(config: ServeConfig) -> Self {
         SimService {
-            ids: Mutex::new(HashMap::new()),
-            profiles: Mutex::new(Lru::new(config.profile_capacity)),
-            plans: Mutex::new(Lru::new(config.plan_capacity)),
+            ids: PoisonFreeMutex::new(HashMap::new()),
+            profiles: PoisonFreeMutex::new(Lru::new(config.profile_capacity)),
+            plans: PoisonFreeMutex::new(Lru::new(config.plan_capacity)),
             requests: AtomicU64::new(0),
             functional_requests: AtomicU64::new(0),
             profile_hits: AtomicU64::new(0),
@@ -309,8 +332,17 @@ impl SimService {
         }
     }
 
-    /// A snapshot of the cache counters.
+    /// A snapshot of the cache counters, including tier occupancy (the
+    /// admission policy's plan-pressure signal).
     pub fn stats(&self) -> ServeStats {
+        let (profile_resident, profile_capacity) = {
+            let p = self.profiles.lock();
+            (p.len() as u64, p.capacity() as u64)
+        };
+        let (plan_resident, plan_capacity) = {
+            let p = self.plans.lock();
+            (p.len() as u64, p.capacity() as u64)
+        };
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             functional_requests: self.functional_requests.load(Ordering::Relaxed),
@@ -318,6 +350,10 @@ impl SimService {
             profile_misses: self.profile_misses.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            profile_resident,
+            profile_capacity,
+            plan_resident,
+            plan_capacity,
         }
     }
 
@@ -447,16 +483,23 @@ impl SimService {
     ///
     /// # Errors
     ///
-    /// Propagates buffer-protocol errors (none occur for well-formed
-    /// input).
+    /// A typed [`EngineError`]: [`ConfigError`] for a degenerate derived
+    /// configuration (e.g. a non-square workload tensor), buffer-protocol
+    /// errors otherwise (none occur for well-formed input).
     ///
     /// # Panics
     ///
-    /// As [`run_with_threads`] and [`Variant::plan`].
-    pub fn run_functional(&self, req: &FunctionalRequest) -> Result<FunctionalResponse, EddoError> {
+    /// As [`Variant::plan`] (empty workload tensor, invalid overbooked
+    /// `y`); the serving runtime isolates those with `catch_unwind`.
+    ///
+    /// [`ConfigError`]: tailors_sim::functional::ConfigError
+    pub fn run_functional(
+        &self,
+        req: &FunctionalRequest,
+    ) -> Result<FunctionalResponse, EngineError> {
         self.functional_requests.fetch_add(1, Ordering::Relaxed);
         let spec = SpecKey::of(&req.workload);
-        let known = self.ids.lock().expect("ids lock").get(&spec).copied();
+        let known = self.ids.lock().get(&spec).copied();
         let tensor_hot = known.is_some();
         // The engine needs the tensor itself, so resolve it through the
         // generation cache and keep the Arc alive for the run.
@@ -465,7 +508,7 @@ impl SimService {
             Some(id) => id,
             None => {
                 let id = MatrixId::of(&tensor);
-                self.ids.lock().expect("ids lock").insert(spec, id);
+                self.ids.lock().insert(spec, id);
                 id
             }
         };
@@ -520,7 +563,7 @@ impl SimService {
     /// is a real bound on what the service retains.
     fn resolve_identity(&self, wl: &Workload) -> (MatrixId, bool, Option<Arc<MatrixProfile>>) {
         let spec = SpecKey::of(wl);
-        if let Some(id) = self.ids.lock().expect("ids lock").get(&spec) {
+        if let Some(id) = self.ids.lock().get(&spec) {
             return (*id, true, None);
         }
         let tensor = generate_cached(wl);
@@ -528,11 +571,8 @@ impl SimService {
         let profile = Arc::new(tensor.profile());
         drop(tensor);
         self.profile_misses.fetch_add(1, Ordering::Relaxed);
-        self.profiles
-            .lock()
-            .expect("profiles lock")
-            .insert(id, Arc::clone(&profile));
-        self.ids.lock().expect("ids lock").insert(spec, id);
+        self.profiles.lock().insert(id, Arc::clone(&profile));
+        self.ids.lock().insert(spec, id);
         (id, false, Some(profile))
     }
 
@@ -545,16 +585,13 @@ impl SimService {
         id: MatrixId,
         make: impl FnOnce() -> Arc<MatrixProfile>,
     ) -> (Arc<MatrixProfile>, bool) {
-        if let Some(p) = self.profiles.lock().expect("profiles lock").get(&id) {
+        if let Some(p) = self.profiles.lock().get(&id) {
             self.profile_hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(p), true);
         }
         self.profile_misses.fetch_add(1, Ordering::Relaxed);
         let profile = make();
-        self.profiles
-            .lock()
-            .expect("profiles lock")
-            .insert(id, Arc::clone(&profile));
+        self.profiles.lock().insert(id, Arc::clone(&profile));
         (profile, false)
     }
 
@@ -571,7 +608,7 @@ impl SimService {
         profile: &MatrixProfile,
     ) -> (Planned, bool) {
         let key: PlanKey = (id, variant.cache_key(), arch.cache_key(), budget, auto_plan);
-        if let Some(p) = self.plans.lock().expect("plans lock").get(&key) {
+        if let Some(p) = self.plans.lock().get(&key) {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
             return (*p, true);
         }
@@ -583,7 +620,7 @@ impl SimService {
             ExecutionPlan::for_tile_plan(profile.nrows(), profile.ncols(), &tile, budget)
         };
         let planned = Planned { tile, exec };
-        self.plans.lock().expect("plans lock").insert(key, planned);
+        self.plans.lock().insert(key, planned);
         (planned, false)
     }
 }

@@ -76,6 +76,112 @@ use tailors_eddo::{Buffet, EddoError, Tailor, TailorConfig};
 use tailors_tensor::ops::BlockedSpa;
 use tailors_tensor::{CooMatrix, CsrMatrix, TileColPtr};
 
+/// A structurally invalid engine configuration, reported through the
+/// `Err` channel instead of a panic so a long-lived server can answer a
+/// bad request with a typed error and keep serving (the serving layer's
+/// workers must never abort on caller input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `Z = A·Aᵀ` requires a square stationary operand.
+    NonSquare {
+        /// Rows of the supplied matrix.
+        nrows: usize,
+        /// Columns of the supplied matrix.
+        ncols: usize,
+    },
+    /// The operand buffer has no capacity.
+    ZeroCapacity,
+    /// A tile dimension is zero.
+    ZeroTileDims {
+        /// Configured rows of `A` per tile.
+        rows_a: usize,
+        /// Configured columns of `B` per tile.
+        cols_b: usize,
+    },
+    /// The worker-thread count is zero.
+    ZeroThreads,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::NonSquare { nrows, ncols } => {
+                write!(f, "A·Aᵀ expects a square matrix, got {nrows}x{ncols}")
+            }
+            ConfigError::ZeroCapacity => write!(f, "capacity must be positive"),
+            ConfigError::ZeroTileDims { rows_a, cols_b } => {
+                write!(
+                    f,
+                    "tile dimensions must be positive, got rows_a={rows_a} cols_b={cols_b}"
+                )
+            }
+            ConfigError::ZeroThreads => write!(f, "thread count must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Everything a functional run can fail with: a rejected configuration or
+/// a buffer-protocol error (the latter never occurs for well-formed
+/// input — it indicates an engine bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The configuration was rejected before any work ran.
+    Config(ConfigError),
+    /// A buffer-protocol violation surfaced mid-run.
+    Buffer(EddoError),
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+impl From<EddoError> for EngineError {
+    fn from(e: EddoError) -> Self {
+        EngineError::Buffer(e)
+    }
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "invalid configuration: {e}"),
+            EngineError::Buffer(e) => write!(f, "buffer protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Shared request validation for every engine entry point (and
+/// [`reference_run`], which must reject exactly what the rewritten engine
+/// rejects so the oracle stays callable wherever the engine is).
+fn validate(a: &CsrMatrix, config: &FunctionalConfig, threads: usize) -> Result<(), ConfigError> {
+    if a.nrows() != a.ncols() {
+        return Err(ConfigError::NonSquare {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+        });
+    }
+    if config.capacity == 0 {
+        return Err(ConfigError::ZeroCapacity);
+    }
+    if config.rows_a == 0 || config.cols_b == 0 {
+        return Err(ConfigError::ZeroTileDims {
+            rows_a: config.rows_a,
+            cols_b: config.cols_b,
+        });
+    }
+    if threads == 0 {
+        return Err(ConfigError::ZeroThreads);
+    }
+    Ok(())
+}
+
 /// Configuration of a functional run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FunctionalConfig {
@@ -177,13 +283,14 @@ type Elem = (u32, u32, f64);
 ///
 /// Propagates buffer-protocol errors (none occur for well-formed input).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `a` is not square or the configuration is degenerate
-/// (`capacity == 0`, `rows_a == 0`, or `cols_b == 0`). An invalid Tailor
-/// sizing (`fifo_region == 0` or `fifo_region >= capacity` while
-/// overbooking) is reported through the `Err` channel instead.
-pub fn run(a: &CsrMatrix, config: &FunctionalConfig) -> Result<FunctionalResult, EddoError> {
+/// [`EngineError::Config`] if `a` is not square or the configuration is
+/// degenerate (`capacity == 0`, `rows_a == 0`, or `cols_b == 0`);
+/// [`EngineError::Buffer`] for buffer-protocol errors, including an
+/// invalid Tailor sizing (`fifo_region == 0` or `fifo_region >= capacity`
+/// while overbooking). No caller input panics the engine.
+pub fn run(a: &CsrMatrix, config: &FunctionalConfig) -> Result<FunctionalResult, EngineError> {
     run_with_threads(a, config, rayon::current_num_threads())
 }
 
@@ -192,16 +299,13 @@ pub fn run(a: &CsrMatrix, config: &FunctionalConfig) -> Result<FunctionalResult,
 ///
 /// # Errors
 ///
-/// Propagates buffer-protocol errors (none occur for well-formed input).
-///
-/// # Panics
-///
-/// As [`run`]; additionally if `threads == 0`.
+/// As [`run`]; additionally rejects `threads == 0`
+/// ([`ConfigError::ZeroThreads`]).
 pub fn run_with_threads(
     a: &CsrMatrix,
     config: &FunctionalConfig,
     threads: usize,
-) -> Result<FunctionalResult, EddoError> {
+) -> Result<FunctionalResult, EngineError> {
     match config.grid {
         GridMode::Panels => run_panels_mode(a, config, threads),
         GridMode::Grid2D => Ok(run_grid(a, config, threads)?.0),
@@ -217,14 +321,12 @@ struct EngineSetup {
     b_tiles: Option<TileColPtr>,
 }
 
-fn engine_setup(a: &CsrMatrix, config: &FunctionalConfig, threads: usize) -> EngineSetup {
-    assert_eq!(a.nrows(), a.ncols(), "A·Aᵀ expects a square matrix");
-    assert!(config.capacity > 0, "capacity must be positive");
-    assert!(
-        config.rows_a > 0 && config.cols_b > 0,
-        "tile dimensions must be positive"
-    );
-    assert!(threads > 0, "thread count must be positive");
+fn engine_setup(
+    a: &CsrMatrix,
+    config: &FunctionalConfig,
+    threads: usize,
+) -> Result<EngineSetup, ConfigError> {
+    validate(a, config, threads)?;
     let b = a.transpose();
     let n = a.nrows();
     let plan = if config.auto_plan {
@@ -246,7 +348,7 @@ fn engine_setup(a: &CsrMatrix, config: &FunctionalConfig, threads: usize) -> Eng
     } else {
         None
     };
-    EngineSetup { b, plan, b_tiles }
+    Ok(EngineSetup { b, plan, b_tiles })
 }
 
 /// [`run_with_threads`] in [`GridMode::Panels`]: one work item per row
@@ -255,8 +357,8 @@ fn run_panels_mode(
     a: &CsrMatrix,
     config: &FunctionalConfig,
     threads: usize,
-) -> Result<FunctionalResult, EddoError> {
-    let EngineSetup { b, plan, b_tiles } = engine_setup(a, config, threads);
+) -> Result<FunctionalResult, EngineError> {
+    let EngineSetup { b, plan, b_tiles } = engine_setup(a, config, threads)?;
     let n = a.nrows();
     let n_a_tiles = plan.n_row_panels();
 
@@ -345,17 +447,13 @@ pub struct UnitTraffic {
 ///
 /// # Errors
 ///
-/// Propagates buffer-protocol errors (none occur for well-formed input).
-///
-/// # Panics
-///
 /// As [`run_with_threads`].
 pub fn run_grid(
     a: &CsrMatrix,
     config: &FunctionalConfig,
     threads: usize,
-) -> Result<(FunctionalResult, Vec<UnitTraffic>), EddoError> {
-    let EngineSetup { b, plan, b_tiles } = engine_setup(a, config, threads);
+) -> Result<(FunctionalResult, Vec<UnitTraffic>), EngineError> {
+    let EngineSetup { b, plan, b_tiles } = engine_setup(a, config, threads)?;
     let n = a.nrows();
     let units: Vec<PlanUnit> = plan.units().collect();
 
@@ -1043,23 +1141,17 @@ impl<S: TileSource> TileDriver<S> {
 ///
 /// # Errors
 ///
-/// Propagates buffer-protocol errors (none occur for well-formed input).
-///
-/// # Panics
-///
-/// As [`run`].
+/// As [`run`]: a typed [`ConfigError`] for a rejected configuration,
+/// buffer-protocol errors otherwise (none occur for well-formed input).
 pub fn reference_run(
     a: &CsrMatrix,
     config: &FunctionalConfig,
-) -> Result<FunctionalResult, EddoError> {
+) -> Result<FunctionalResult, EngineError> {
     use std::collections::HashMap;
 
-    assert_eq!(a.nrows(), a.ncols(), "A·Aᵀ expects a square matrix");
-    assert!(config.capacity > 0, "capacity must be positive");
-    assert!(
-        config.rows_a > 0 && config.cols_b > 0,
-        "tile dimensions must be positive"
-    );
+    // The oracle ignores the thread count; validate with the always-legal 1
+    // so it rejects exactly the configurations the rewritten engine rejects.
+    validate(a, config, 1)?;
     let b = a.transpose();
     let n = a.nrows();
     let n_a_tiles = n.div_ceil(config.rows_a.max(1));
