@@ -23,15 +23,24 @@ fn bench_intersection(c: &mut Criterion) {
     let b = GenSpec::uniform(1, 100_000, 10_000).seed(2).generate();
     let (fa, fb) = (a.row(0), b.row(0));
 
-    // Balanced operands: the scalar two-finger merge is the baseline, the
-    // bitmask-blocked walk is what `intersect_counted` now dispatches to
-    // on this shape (identical reported counts).
+    // Balanced operands: the scalar two-finger merge is the baseline; the
+    // `blocked` row pins the portable scalar superblock walk (so this
+    // trajectory row keeps meaning the same thing on every runner), and
+    // the `simd` row is what `intersect_counted` now dispatches to on
+    // this shape when the CPU allows (identical reported counts).
+    println!(
+        "fiber_intersection/simd dispatch level: {}",
+        tailors_tensor::simd::active_level()
+    );
     let mut g = c.benchmark_group("fiber_intersection");
     g.throughput(Throughput::Elements((fa.len() + fb.len()) as u64));
     g.bench_function("two_finger_10k_x_10k", |bch| {
         bch.iter(|| black_box(fa.intersect_counted_linear(&fb)))
     });
     g.bench_function("blocked_10k_x_10k", |bch| {
+        bch.iter(|| black_box(fa.intersect_counted_blocked_scalar(&fb)))
+    });
+    g.bench_function("simd_10k_x_10k", |bch| {
         bch.iter(|| black_box(fa.intersect_counted_blocked(&fb)))
     });
     g.bench_function("dot_product_10k_x_10k", |bch| {
@@ -39,11 +48,20 @@ fn bench_intersection(c: &mut Criterion) {
     });
     g.finish();
 
-    // Asymmetric operands (ratio 500 ≫ GALLOP_RATIO): the adaptive
-    // dispatch gallops; the `_linear` row is the scalar baseline it
-    // replaces on this shape.
+    // Asymmetric operands: the adaptive dispatch gallops; the `_linear`
+    // row is the scalar baseline it replaces on this shape. The operand
+    // ratio is tied to the dispatch threshold so the rows keep measuring
+    // the galloping side of the crossover if `GALLOP_RATIO` moves.
     let small = GenSpec::uniform(1, 100_000, 200).seed(5).generate();
     let fs = small.row(0);
+    assert!(
+        fb.len() > fs.len() * tailors_tensor::fiber::GALLOP_RATIO,
+        "asymmetric rows must sit past the gallop crossover \
+         ({} x {} vs ratio {})",
+        fs.len(),
+        fb.len(),
+        tailors_tensor::fiber::GALLOP_RATIO,
+    );
     let mut g = c.benchmark_group("fiber_intersection_asymmetric");
     g.throughput(Throughput::Elements((fs.len() + fb.len()) as u64));
     g.bench_function("two_finger_200_x_10k", |bch| {
@@ -159,6 +177,29 @@ fn bench_planner(c: &mut Criterion) {
         auto_plan.n_col_blocks() < fixed_plan.n_col_blocks(),
         "the auto planner must strictly reduce extraction passes here"
     );
+    // The measurement-calibrated model at the same operating point: plan
+    // once under the per-arch measured weights (the one-time calibration
+    // cost is paid outside the timed region, as the serving layer pays it
+    // once per process), then execute at the chosen tiling. The row is
+    // the check that planning in measured picoseconds instead of raw
+    // element touches never *loses* to the uniform model where the
+    // uniform model was already right.
+    let model = tailors_sim::CostModel::calibrated();
+    let calibrated_plan = tailors_sim::functional::auto_execution_plan_costed(&a, &auto, model);
+    let calibrated = FunctionalConfig {
+        rows_a: calibrated_plan.rows_a(),
+        auto_plan: false,
+        ..fixed
+    };
+    println!(
+        "planner/calibrated at 64KiB: weights fill {} / refetch {} / extract {} ps \
+         -> {} rows x {} blocks",
+        model.w_fill,
+        model.w_refetch,
+        model.w_extract,
+        calibrated_plan.rows_a(),
+        calibrated_plan.n_col_blocks(),
+    );
     let mut g = c.benchmark_group("planner");
     g.sample_size(10);
     g.bench_function("auto_vs_fixed_fixed_64KiB_2k", |bch| {
@@ -166,6 +207,9 @@ fn bench_planner(c: &mut Criterion) {
     });
     g.bench_function("auto_vs_fixed_auto_64KiB_2k", |bch| {
         bch.iter(|| black_box(run_with_threads(&a, &auto, 1).unwrap()))
+    });
+    g.bench_function("calibrated_vs_uniform_64KiB_2k", |bch| {
+        bch.iter(|| black_box(run_with_threads(&a, &calibrated, 1).unwrap()))
     });
     g.finish();
 }

@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p tailors-bench --bin run_all --
 //! [scale] [--threads N] [--mem-budget SPEC] [--grid MODE] [--auto-plan]
-//! [--no-gen-cache] [--serve]`
+//! [--calibrate] [--no-simd] [--no-gen-cache] [--serve]`
 //!
 //! At `scale = 1.0` (default) the workloads are generated at the paper's
 //! full dimensions; expect a few minutes, dominated by tensor generation.
@@ -22,6 +22,16 @@
 //! co-optimized against the scratch budget) instead of the variants'
 //! fixed heights — the suite records the chosen plans in its scratch
 //! stats, and the functional smoke executes (and verifies) them.
+//!
+//! `--no-simd` forwards `TAILORS_SIMD=off`: every fiber intersection in
+//! every child takes the portable scalar superblock path instead of the
+//! runtime-dispatched SIMD kernel (results are bit-identical either way
+//! — this is the isolation knob CI runs the whole suite under).
+//! `--calibrate` forwards `TAILORS_CALIBRATE=1`: auto planners minimize
+//! measured per-term costs ([`CostModel::calibrated`]) instead of raw
+//! element touches; chosen tilings may differ, replayed results never do.
+//!
+//! [`CostModel::calibrated`]: https://docs.rs/tailors-sim
 //!
 //! Generated tensors are memoized on disk across the child binaries
 //! (`TAILORS_GEN_CACHE`, defaulting to `target/gen-cache`) so the ten
@@ -50,12 +60,14 @@ fn main() {
     let mut mem_budget: Option<String> = None;
     let mut grid: Option<String> = None;
     let mut auto_plan = false;
+    let mut calibrate = false;
+    let mut no_simd = false;
     let mut gen_cache = true;
     let mut serve = false;
     let mut wire = false;
     let mut args = std::env::args().skip(1);
     const USAGE: &str = "usage: run_all [scale] [--threads N] [--mem-budget SPEC] [--grid MODE] \
-         [--auto-plan] [--no-gen-cache] [--serve] [--wire]";
+         [--auto-plan] [--calibrate] [--no-simd] [--no-gen-cache] [--serve] [--wire]";
     while let Some(arg) = args.next() {
         if arg == "--threads" {
             let n = args.next().expect("--threads requires a value");
@@ -79,6 +91,10 @@ fn main() {
             grid = Some(mode);
         } else if arg == "--auto-plan" {
             auto_plan = true;
+        } else if arg == "--calibrate" {
+            calibrate = true;
+        } else if arg == "--no-simd" {
+            no_simd = true;
         } else if arg == "--no-gen-cache" {
             gen_cache = false;
         } else if arg == "--serve" {
@@ -141,6 +157,12 @@ fn main() {
         }
         if auto_plan {
             cmd.env("TAILORS_AUTO_PLAN", "1");
+        }
+        if calibrate {
+            cmd.env("TAILORS_CALIBRATE", "1");
+        }
+        if no_simd {
+            cmd.env("TAILORS_SIMD", "off");
         }
         if gen_cache {
             cmd.env("TAILORS_GEN_CACHE", &cache_dir);

@@ -5,8 +5,18 @@
 //!
 //! Usage: `cargo run --release -p tailors-serve --bin serve --
 //! [scale] [--sweeps N] [--threads N] [--mem-budget SPEC] [--grid MODE]
-//! [--auto-plan] [--verify] [--smoke-functional]
+//! [--auto-plan] [--calibrate] [--no-simd] [--verify] [--smoke-functional]
 //! [--wire ADDR | --wire-stdio | --wire-smoke]`
+//!
+//! `--no-simd` pins `TAILORS_SIMD=off` for the process: every fiber
+//! intersection takes the portable scalar superblock path (results are
+//! bit-identical either way; this is the knob for isolating the SIMD
+//! dispatch when debugging or benchmarking). `--calibrate` plans
+//! auto-planned requests under the measured [`CostModel::calibrated`]
+//! weights instead of the uniform element-touch model; it also falls
+//! back to `TAILORS_CALIBRATE`, so `run_all --calibrate` reaches this
+//! binary the same way as the other knobs. Calibrated plans are
+//! versioned in the plan tier by the model fingerprint.
 //!
 //! The three `--wire*` modes run the fault-tolerant service runtime
 //! (bounded priority mailbox + worker pool + admission control; see
@@ -49,13 +59,13 @@ use std::time::Instant;
 
 use tailors_serve::wire::{serve_lines, WireClient, WireTcpServer};
 use tailors_serve::{
-    FaultPlan, FunctionalRequest, Reply, RuntimeConfig, ServeError, ServiceRuntime, SimRequest,
-    SimService, Work,
+    FaultPlan, FunctionalRequest, Reply, RuntimeConfig, ServeConfig, ServeError, ServiceRuntime,
+    SimRequest, SimService, Work,
 };
 use tailors_sim::functional::reference_run;
 use tailors_sim::{
-    auto_plan_from_env, grid_from_env, mem_budget_from_env, threads_from_env, ArchConfig, GridMode,
-    MemBudget, Variant,
+    auto_plan_from_env, cost_model_from_env, grid_from_env, mem_budget_from_env, threads_from_env,
+    ArchConfig, CostModel, GridMode, MemBudget, Variant,
 };
 use tailors_workloads::{Workload, WorkloadClass};
 
@@ -66,6 +76,8 @@ fn main() {
     let mut budget: Option<MemBudget> = None;
     let mut grid: Option<GridMode> = None;
     let mut auto_plan = false;
+    let mut calibrate = false;
+    let mut no_simd = false;
     let mut verify = false;
     let mut smoke_functional = false;
     let mut wire_addr: Option<String> = None;
@@ -96,6 +108,8 @@ fn main() {
             }
             "--grid" => grid = Some(GridMode::parse(&next("--grid")).expect("--grid")),
             "--auto-plan" => auto_plan = true,
+            "--calibrate" => calibrate = true,
+            "--no-simd" => no_simd = true,
             "--verify" => verify = true,
             "--smoke-functional" => smoke_functional = true,
             "--wire" => wire_addr = Some(next("--wire")),
@@ -109,10 +123,20 @@ fn main() {
         }
     }
     assert!(sweeps > 0, "--sweeps must be positive");
+    if no_simd {
+        // Before any intersection runs: the SIMD dispatch level is
+        // resolved lazily (once per process) from this variable.
+        std::env::set_var("TAILORS_SIMD", "off");
+    }
     let threads = threads.unwrap_or_else(threads_from_env);
     let budget = budget.unwrap_or_else(mem_budget_from_env);
     let grid = grid.unwrap_or_else(grid_from_env);
     let auto_plan = auto_plan || auto_plan_from_env();
+    let cost_model = if calibrate {
+        CostModel::calibrated()
+    } else {
+        cost_model_from_env()
+    };
 
     if wire_stdio {
         run_wire_stdio(threads);
@@ -148,13 +172,29 @@ fn main() {
         .collect();
     println!(
         "serve: {} requests/sweep ({} workloads x {} variants) at scale {scale}, \
-         {threads} threads, budget {budget}, grid {grid}, auto-plan {auto_plan}",
+         {threads} threads, budget {budget}, grid {grid}, auto-plan {auto_plan}, \
+         simd {}, cost model {}",
         batch.len(),
         batch.len() / variants.len(),
         variants.len(),
+        tailors_tensor::simd::active_level(),
+        if cost_model.is_uniform() {
+            "uniform".to_string()
+        } else {
+            format!(
+                "calibrated (fill {} / refetch {} / extract {} ps, key {:#018x})",
+                cost_model.w_fill,
+                cost_model.w_refetch,
+                cost_model.w_extract,
+                cost_model.key()
+            )
+        },
     );
 
-    let service = SimService::new();
+    let service = SimService::with_config(ServeConfig {
+        cost_model,
+        ..ServeConfig::default()
+    });
     let mut first: Option<Vec<tailors_serve::SimResponse>> = None;
     for sweep in 1..=sweeps {
         let before = service.stats();
@@ -212,8 +252,16 @@ fn main() {
             let profile = tailors_workloads::generate_cached(&reqs[0].workload).profile();
             for (req, resp) in reqs.iter().zip(resps) {
                 let direct = if req.auto_plan {
+                    // Replan cold under the *same* cost model the service
+                    // planned with — a calibrated service legitimately
+                    // picks a different tiling than `run_auto`'s uniform
+                    // default would.
+                    let tile = req.variant.plan(&profile, &req.arch);
+                    let exec = req.variant.auto_execution_plan_costed(
+                        &profile, &req.arch, req.budget, &tile, cost_model,
+                    );
                     req.variant
-                        .run_auto(&profile, &req.arch, req.budget, req.grid)
+                        .run_planned(&profile, &req.arch, &tile, &exec, req.grid)
                 } else {
                     req.variant
                         .run_gridded(&profile, &req.arch, req.budget, req.grid)
@@ -235,7 +283,7 @@ fn main() {
     }
 
     if smoke_functional {
-        functional_smoke(threads, budget, grid, auto_plan);
+        functional_smoke(threads, budget, grid, auto_plan, cost_model);
     }
     println!("OK");
 }
@@ -243,7 +291,13 @@ fn main() {
 /// The CI serving smoke: a batch of mixed variants executed *functionally*
 /// at 50 000 columns through the service, each result diffed against the
 /// seed engine under the identical derived configuration.
-fn functional_smoke(threads: usize, budget: MemBudget, grid: GridMode, auto_plan: bool) {
+fn functional_smoke(
+    threads: usize,
+    budget: MemBudget,
+    grid: GridMode,
+    auto_plan: bool,
+    cost_model: CostModel,
+) {
     let workload = Workload {
         name: "serve-smoke-50k",
         nrows: 50_000,
@@ -268,7 +322,10 @@ fn functional_smoke(threads: usize, budget: MemBudget, grid: GridMode, auto_plan
         "functional smoke: {} x {} tensor, mixed variants, budget {budget}, grid {grid}",
         workload.nrows, workload.ncols
     );
-    let service = SimService::new();
+    let service = SimService::with_config(ServeConfig {
+        cost_model,
+        ..ServeConfig::default()
+    });
     let a = tailors_workloads::generate_cached(&workload);
     for variant in [
         Variant::ExTensorN,

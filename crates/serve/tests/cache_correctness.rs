@@ -7,8 +7,8 @@
 //! path and the miss path are pinned to one another.
 
 use proptest::prelude::*;
-use tailors_serve::{ServeConfig, SimService};
-use tailors_sim::{ArchConfig, GridMode, MemBudget, Variant};
+use tailors_serve::{ServeConfig, SimRequest, SimService};
+use tailors_sim::{ArchConfig, CostModel, GridMode, MemBudget, Variant};
 use tailors_tensor::gen::GenSpec;
 use tailors_tensor::CsrMatrix;
 
@@ -58,6 +58,7 @@ proptest! {
         let service = SimService::with_config(ServeConfig {
             profile_capacity: 2,
             plan_capacity: 3,
+            ..ServeConfig::default()
         });
         for (mi, vi, bi, grid2d) in ops {
             let a = &pool[mi as usize % pool.len()];
@@ -86,5 +87,72 @@ proptest! {
         // above must have produced misses beyond the first fills.
         let stats = service.stats();
         prop_assert!(stats.profile_misses >= 1 && stats.plan_misses >= 1);
+    }
+}
+
+/// The planner cost model versions auto plans in the plan tier but never
+/// touches fixed plans: a service configured with a skewed (calibrated-
+/// like) model serves fixed requests bit-identical to the default
+/// service, and serves auto-planned requests bit-identical to a cold
+/// replan under its own model — with the hit path pinned to the miss
+/// path on immediate resubmission in both cases.
+#[test]
+fn cost_model_versions_auto_plans_but_not_fixed_ones() {
+    let workload = tailors_workloads::by_name("email-Enron")
+        .expect("suite workload")
+        .scaled(1.0 / 64.0);
+    let arch = ArchConfig::extensor().scaled(1.0 / 64.0);
+    let budget = MemBudget::bytes(64 << 10);
+    let skewed = CostModel {
+        w_fill: 37,
+        w_refetch: 3,
+        w_extract: 9_000,
+    };
+    assert_ne!(skewed.key(), CostModel::UNIFORM.key());
+    let uniform_svc = SimService::new();
+    let skewed_svc = SimService::with_config(ServeConfig {
+        cost_model: skewed,
+        ..ServeConfig::default()
+    });
+    let profile = tailors_workloads::generate_cached(&workload).profile();
+    for auto_plan in [false, true] {
+        let req = SimRequest {
+            workload: workload.clone(),
+            variant: Variant::default_ob(),
+            arch,
+            budget,
+            grid: GridMode::Panels,
+            auto_plan,
+        };
+        let uniform_resp = uniform_svc.submit(&req);
+        let skewed_resp = skewed_svc.submit(&req);
+        let tile = req.variant.plan(&profile, &arch);
+        if auto_plan {
+            // Each service must match a cold replan under *its own*
+            // model; the models may legitimately pick different tilings.
+            for (resp, model) in [(&uniform_resp, CostModel::UNIFORM), (&skewed_resp, skewed)] {
+                let exec = req
+                    .variant
+                    .auto_execution_plan_costed(&profile, &arch, budget, &tile, model);
+                let direct = req
+                    .variant
+                    .run_planned(&profile, &arch, &tile, &exec, req.grid);
+                assert_eq!(
+                    resp.metrics, direct,
+                    "served auto metrics diverged from the cold costed replan"
+                );
+            }
+        } else {
+            // Fixed plans never consult the model: both services must
+            // agree bitwise.
+            assert_eq!(
+                uniform_resp.metrics, skewed_resp.metrics,
+                "a fixed plan drifted with the cost model"
+            );
+        }
+        // Hit path == miss path, under either model.
+        let again = skewed_svc.submit(&req);
+        assert!(again.hits.profile && again.hits.plan);
+        assert_eq!(again.metrics, skewed_resp.metrics);
     }
 }

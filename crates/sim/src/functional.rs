@@ -244,13 +244,35 @@ impl FunctionalConfig {
 /// (smokes, tests, the serving layer) can see the tiling an auto run will
 /// execute — a fixed run at `plan.rows_a()` is bit-identical to the auto
 /// run in every reported field.
+///
+/// The planner's term weights come from the `TAILORS_CALIBRATE` knob
+/// ([`cost_model_from_env`](crate::exec::cost_model_from_env)): unset
+/// keeps the historical equal-weight model, so existing runs are
+/// unaffected; `run_all --calibrate` switches every engine-internal auto
+/// plan to measured weights. Either way the *results* of the run are
+/// bit-identical — only the chosen tiling (and therefore the traffic
+/// counters) can move.
 pub fn auto_execution_plan(a: &CsrMatrix, config: &FunctionalConfig) -> ExecutionPlan {
+    auto_execution_plan_costed(a, config, crate::exec::cost_model_from_env())
+}
+
+/// [`auto_execution_plan`] with an explicit planner
+/// [`CostModel`](crate::exec::CostModel) instead of the environment's —
+/// the entry point for the serving layer (which owns its model and
+/// versions plan-cache keys with it) and for the arbitrary-weight
+/// property tests.
+pub fn auto_execution_plan_costed(
+    a: &CsrMatrix,
+    config: &FunctionalConfig,
+    model: crate::exec::CostModel,
+) -> ExecutionPlan {
     ExecutionPlan::auto_for_budget(
         &a.profile(),
         config.cols_b,
         config.mem_budget,
         Some(config.buffer_params()),
         Some(config.rows_a),
+        model,
     )
 }
 

@@ -8,7 +8,7 @@ use tailors_tensor::MatrixProfile;
 
 use crate::arch::ArchConfig;
 use crate::dataflow::{simulate, simulate_gridded, simulate_planned};
-use crate::exec::{AutoPlanner, BufferParams, ExecutionPlan, GridMode, MemBudget};
+use crate::exec::{AutoPlanner, BufferParams, CostModel, ExecutionPlan, GridMode, MemBudget};
 use crate::metrics::RunMetrics;
 use crate::plan::TilePlan;
 
@@ -195,6 +195,23 @@ impl Variant {
         budget: MemBudget,
         tile: &TilePlan,
     ) -> ExecutionPlan {
+        self.auto_execution_plan_costed(profile, arch, budget, tile, CostModel::UNIFORM)
+    }
+
+    /// [`Variant::auto_execution_plan_for`] with an explicit planner
+    /// [`CostModel`]: the serving layer's plan-tier miss path passes its
+    /// configured (possibly calibrated) model here and versions the
+    /// cache key with [`CostModel::key`]. [`CostModel::UNIFORM`]
+    /// reproduces [`Variant::auto_execution_plan_for`] exactly; any
+    /// model only moves which tiling wins, never the replayed results.
+    pub fn auto_execution_plan_costed(
+        &self,
+        profile: &MatrixProfile,
+        arch: &ArchConfig,
+        budget: MemBudget,
+        tile: &TilePlan,
+        model: CostModel,
+    ) -> ExecutionPlan {
         AutoPlanner::new(profile, tile.gb_cols_b.max(1), budget)
             .with_buffer(BufferParams {
                 capacity: (arch.tile_capacity() as usize).max(1),
@@ -202,6 +219,7 @@ impl Variant {
                 overbooking: tile.overbooking,
             })
             .with_baseline(tile.gb_rows_a.max(1))
+            .with_cost_model(model)
             .plan()
     }
 

@@ -218,7 +218,33 @@ impl<'a> Fiber<'a> {
         (matches, ai_end + bi_end - matches)
     }
 
-    /// [`Fiber::intersect_counted`] by the bitmask-blocked walk,
+    /// [`Fiber::intersect_counted`] by the balanced-regime blocked walk.
+    ///
+    /// Dispatches once per process (see [`crate::simd::active_level`])
+    /// between the SIMD kernels in [`crate::simd`] — AVX-512CD conflict
+    /// detection, or the AVX2 rotation-compare merge — and the portable
+    /// scalar superblock walk ([`Fiber::intersect_counted_blocked_scalar`]),
+    /// which also serves non-x86_64 targets and the `TAILORS_SIMD=off`
+    /// override. Dispatch is bit-invisible: every kernel produces the
+    /// exact match count, and `scanned` is always reconstructed through
+    /// the same [`merge_endpoints`] rank query, so the returned pair
+    /// never depends on which kernel ran (the property tests pin all
+    /// kernels to [`Fiber::intersect_counted_linear`]).
+    pub fn intersect_counted_blocked(&self, other: &Fiber<'_>) -> (usize, usize) {
+        let (a, b) = (self.coords, other.coords);
+        if a.is_empty() || b.is_empty() {
+            return (0, 0);
+        }
+        match crate::simd::intersect_matches(a, b) {
+            None => self.intersect_counted_blocked_scalar(other),
+            Some(matches) => {
+                let (ai_end, bi_end) = merge_endpoints(a, b);
+                (matches, ai_end + bi_end - matches)
+            }
+        }
+    }
+
+    /// The portable scalar blocked walk,
     /// unconditionally: coordinates are grouped into 256-wide superblocks
     /// (`coord >> 8`, four `u64` occupancy words); for each superblock
     /// both streams touch, a `[u64; 4]` membership mask is built per
@@ -232,8 +258,11 @@ impl<'a> Fiber<'a> {
     /// Returns exactly what [`Fiber::intersect_counted_linear`] returns:
     /// `matches` is the true intersection size, and `scanned` is
     /// reconstructed from where the two-finger merge's pointers would
-    /// have stopped (`scanned = ai_end + bi_end − matches`).
-    pub fn intersect_counted_blocked(&self, other: &Fiber<'_>) -> (usize, usize) {
+    /// have stopped (`scanned = ai_end + bi_end − matches`). This is
+    /// the SIMD dispatch's fallback and the fixed baseline the
+    /// `blocked_10k_x_10k` bench row measures regardless of what
+    /// [`Fiber::intersect_counted_blocked`] dispatches to.
+    pub fn intersect_counted_blocked_scalar(&self, other: &Fiber<'_>) -> (usize, usize) {
         let (a, b) = (self.coords, other.coords);
         if a.is_empty() || b.is_empty() {
             return (0, 0);
@@ -381,9 +410,11 @@ mod tests {
             let lin = a.intersect_counted_linear(&b);
             let gal = a.intersect_counted_galloping(&b);
             let blk = a.intersect_counted_blocked(&b);
+            let scl = a.intersect_counted_blocked_scalar(&b);
             let auto = a.intersect_counted(&b);
             assert_eq!(gal, lin, "a={ca:?} b={cb:?}");
             assert_eq!(blk, lin, "a={ca:?} b={cb:?}");
+            assert_eq!(scl, lin, "a={ca:?} b={cb:?}");
             assert_eq!(auto, lin, "a={ca:?} b={cb:?}");
             assert_eq!(lin.0, a.intersect(&b).count(), "a={ca:?} b={cb:?}");
         }
@@ -416,6 +447,16 @@ mod tests {
                 b.intersect_counted_blocked(&a),
                 b.intersect_counted_linear(&a),
                 "swapped a={ca:?} b={cb:?}"
+            );
+            assert_eq!(
+                a.intersect_counted_blocked_scalar(&b),
+                a.intersect_counted_linear(&b),
+                "scalar a={ca:?} b={cb:?}"
+            );
+            assert_eq!(
+                b.intersect_counted_blocked_scalar(&a),
+                b.intersect_counted_linear(&a),
+                "scalar swapped a={ca:?} b={cb:?}"
             );
         }
     }

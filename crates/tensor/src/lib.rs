@@ -35,7 +35,16 @@
 //! assert_eq!(occ.iter().sum::<u64>(), a.nnz() as u64);
 //! ```
 
-#![forbid(unsafe_code)]
+// The workspace stance is `forbid(unsafe_code)` everywhere. This crate
+// alone steps down to `deny` — which, unlike `forbid`, can be overridden
+// by a scoped `#[allow]` — so that the audited [`simd`] module can hold
+// the workspace's only `unsafe` blocks (runtime-dispatched AVX2/AVX-512
+// intersect kernels). Every such block carries a `// SAFETY:` comment,
+// and `unsafe_op_in_unsafe_fn` is denied so `#[target_feature]` bodies
+// get no implicit unsafety either. See `simd`'s module docs for the
+// full audit argument.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod coo;
@@ -45,6 +54,7 @@ mod profile;
 pub mod fiber;
 pub mod gen;
 pub mod ops;
+pub mod simd;
 pub mod stats;
 pub mod tiling;
 
