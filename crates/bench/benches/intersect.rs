@@ -13,10 +13,13 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use tailors_serve::{SimRequest, SimService};
-use tailors_sim::functional::{reference_run, run, run_with_threads, FunctionalConfig};
+use tailors_sim::functional::{
+    reference_run, run, run_spilled, run_with_threads, FunctionalConfig,
+};
 use tailors_sim::{ArchConfig, GridMode, MemBudget, Variant};
 use tailors_tensor::gen::GenSpec;
 use tailors_tensor::ops::{self, count_work, spmspm_a_at, spmspm_into, SpmspmScratch};
+use tailors_tensor::storage::MmapStorage;
 
 fn bench_intersection(c: &mut Criterion) {
     let a = GenSpec::uniform(1, 100_000, 10_000).seed(1).generate();
@@ -315,6 +318,17 @@ fn bench_serving(c: &mut Criterion) {
     g.bench_function("suite_batch_hot_1_64", |bch| {
         bch.iter(|| black_box(service.submit_batch(&reqs, 1)))
     });
+    // The zero-alloc steady state: the same warm batch served one
+    // request at a time, the loop `tests/zero_alloc.rs` pins at exactly
+    // zero allocator calls (no response vector, no scheduler bin — the
+    // pure hot path a long-lived session sees per request).
+    g.bench_function("suite_batch_hot_pooled_1_64", |bch| {
+        bch.iter(|| {
+            for req in &reqs {
+                black_box(service.submit(req));
+            }
+        })
+    });
     // The same hot batch pushed through the full service runtime — JSON
     // codec, loopback TCP, bounded mailbox, worker pool — against the
     // same warmed cache tiers. The gap to `suite_batch_hot_1_64` is the
@@ -345,6 +359,56 @@ fn bench_serving(c: &mut Criterion) {
     drop(pinned);
 }
 
+fn bench_spill(c: &mut Criterion) {
+    // The spill tier's overhead at the 2 k point: the same panels-mode
+    // run with `A` and `B = Aᵀ` paged in from the TSPILL file instead of
+    // resident CSR. `spilled_resident_a_at_2k` keeps every tile cached
+    // (file parsing + panel loads are the only overhead);
+    // `spilled_tight_a_at_2k` caps tile residency at one megabyte so the
+    // clock-LRU cache churns — the worst case the planner's spill-traffic
+    // term exists to steer away from. Both are bit-identical to the
+    // in-RAM row.
+    let a = GenSpec::power_law(2_000, 2_000, 20_000).seed(3).generate();
+    let config = FunctionalConfig {
+        capacity: 2_048,
+        fifo_region: 256,
+        rows_a: 256,
+        cols_b: 256,
+        overbooking: true,
+        mem_budget: MemBudget::Unbounded,
+        grid: GridMode::Panels,
+        auto_plan: false,
+    };
+    let path =
+        std::env::temp_dir().join(format!("tailors_bench_spill_{}.tspill", std::process::id()));
+    MmapStorage::store(&a, config.cols_b, &path).expect("store spill file");
+    let resident = MmapStorage::open(&path, None).expect("open spill file");
+    let tight = MmapStorage::open(&path, Some(1 << 20)).expect("open spill file");
+    assert_eq!(
+        run_spilled(&resident, &config, 1).unwrap(),
+        run_with_threads(&a, &config, 1).unwrap(),
+        "spilled run must be bit-identical to the in-RAM engine"
+    );
+    let mut g = c.benchmark_group("spill");
+    g.sample_size(10);
+    g.bench_function("in_ram_a_at_2k", |bch| {
+        bch.iter(|| black_box(run_with_threads(&a, &config, 1).unwrap()))
+    });
+    g.bench_function("spilled_resident_a_at_2k", |bch| {
+        bch.iter(|| black_box(run_spilled(&resident, &config, 1).unwrap()))
+    });
+    g.bench_function("spilled_tight_a_at_2k", |bch| {
+        bch.iter(|| black_box(run_spilled(&tight, &config, 1).unwrap()))
+    });
+    g.finish();
+    println!(
+        "spill/tight tile cache: {:?} over {} tiles",
+        tight.stats(),
+        tight.n_tiles()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 criterion_group!(
     benches,
     bench_intersection,
@@ -352,6 +416,7 @@ criterion_group!(
     bench_planner,
     bench_simulator,
     bench_suite,
-    bench_serving
+    bench_serving,
+    bench_spill
 );
 criterion_main!(benches);

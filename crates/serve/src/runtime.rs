@@ -45,7 +45,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tailors_sim::functional::EngineError;
+use tailors_sim::functional::{scratch_pool_stats, EngineError};
+use tailors_tensor::storage::PoolStats;
 
 use crate::mailbox::{Mailbox, MailboxStats, Priority, PushError};
 use crate::service::{FunctionalRequest, FunctionalResponse, SimRequest, SimResponse, SimService};
@@ -450,6 +451,12 @@ pub struct ServiceRuntime {
     counters: Arc<Counters>,
     faults: Arc<FaultState>,
     workers: PoisonFreeMutex<Vec<JoinHandle<()>>>,
+    // One slot per worker: each worker publishes a snapshot of its own
+    // thread-local scratch-pool counters after every request (workers
+    // run the engine at threads=1, so the worker thread's pool IS the
+    // per-worker pool). Snapshots are replaced, never accumulated, so
+    // the merged view double-counts nothing.
+    pool_slots: Arc<PoisonFreeMutex<Vec<PoolStats>>>,
 }
 
 impl ServiceRuntime {
@@ -470,16 +477,23 @@ impl ServiceRuntime {
         let mailbox = Arc::new(Mailbox::bounded(config.mailbox_capacity));
         let counters = Arc::new(Counters::default());
         let faults = Arc::new(FaultState::default());
+        let pool_slots = Arc::new(PoisonFreeMutex::new(vec![
+            PoolStats::default();
+            config.workers
+        ]));
         let workers = (0..config.workers)
             .map(|i| {
                 let mailbox = Arc::clone(&mailbox);
                 let service = Arc::clone(&service);
                 let counters = Arc::clone(&counters);
                 let faults = Arc::clone(&faults);
+                let pool_slots = Arc::clone(&pool_slots);
                 let plan = config.faults;
                 std::thread::Builder::new()
                     .name(format!("tailors-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&mailbox, &service, &counters, &faults, plan))
+                    .spawn(move || {
+                        worker_loop(&mailbox, &service, &counters, &faults, plan, &pool_slots, i)
+                    })
                     .expect("worker thread spawn")
             })
             .collect();
@@ -490,6 +504,7 @@ impl ServiceRuntime {
             counters,
             faults,
             workers: PoisonFreeMutex::new(workers),
+            pool_slots,
         }
     }
 
@@ -523,6 +538,20 @@ impl ServiceRuntime {
     /// A snapshot of the mailbox's traffic counters.
     pub fn mailbox_stats(&self) -> MailboxStats {
         self.mailbox.stats()
+    }
+
+    /// The worker pool's scratch-pool counters, rolled up across all
+    /// workers (each worker owns one thread-local [`ScratchPool`] and
+    /// publishes a snapshot after every request it serves). A healthy
+    /// steady state shows `misses` flat while `checkouts` climbs: hot
+    /// requests run entirely on recycled pool inventory.
+    ///
+    /// [`ScratchPool`]: tailors_tensor::storage::ScratchPool
+    pub fn scratch_pool_stats(&self) -> PoolStats {
+        self.pool_slots
+            .lock()
+            .iter()
+            .fold(PoolStats::default(), |acc, s| acc.merge(*s))
     }
 
     /// Submits one request and blocks for its outcome, applying the
@@ -754,6 +783,8 @@ fn worker_loop(
     counters: &Counters,
     faults: &FaultState,
     plan: FaultPlan,
+    pool_slots: &PoisonFreeMutex<Vec<PoolStats>>,
+    index: usize,
 ) {
     while let Some(envelope) = mailbox.pop() {
         if let Some(deadline) = envelope.deadline {
@@ -785,6 +816,11 @@ fn worker_loop(
                 })
             }
         };
+        // Publish this worker's thread-local pool counters (replace, not
+        // accumulate — the thread-local counters are already cumulative)
+        // *before* the reply: a submitter that has its answer must see
+        // the pool activity that produced it.
+        pool_slots.lock()[index] = scratch_pool_stats();
         // A submitter that timed out (or disconnected) dropped its
         // receiver; the send error is expected and the outcome was
         // already accounted as the timeout the submitter observed.
@@ -936,6 +972,41 @@ mod tests {
         // Post-shutdown submissions are typed rejections.
         let e = runtime.submit(sim_work("email-Enron")).unwrap_err();
         assert_eq!(e, ServeError::Shutdown);
+    }
+
+    #[test]
+    fn worker_pool_stats_roll_up_across_workers() {
+        let runtime = ServiceRuntime::new(RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        });
+        assert_eq!(runtime.scratch_pool_stats(), PoolStats::default());
+        let wl = tailors_workloads::by_name("email-Enron")
+            .unwrap()
+            .scaled(1.0 / 512.0);
+        let req = FunctionalRequest {
+            workload: wl,
+            variant: Variant::ExTensorP,
+            arch: tailors_sim::ArchConfig::extensor().scaled(1.0 / 512.0),
+            budget: tailors_sim::MemBudget::mib(4),
+            grid: tailors_sim::GridMode::Panels,
+            auto_plan: false,
+            threads: 1,
+        };
+        runtime
+            .submit(Work::Functional(Box::new(req.clone())))
+            .expect("served");
+        let after_one = runtime.scratch_pool_stats();
+        if tailors_tensor::storage::pooling_enabled() {
+            assert!(after_one.checkouts > 0, "engine run must draw scratch");
+            assert_eq!(after_one.checkouts, after_one.hits + after_one.misses);
+        }
+        // Sim work never touches the functional scratch pool, so the
+        // rolled-up counters stay put (slots publish before each reply).
+        runtime.submit(sim_work("email-Enron")).expect("served");
+        let after_sim = runtime.scratch_pool_stats();
+        assert_eq!(after_sim.checkouts, after_one.checkouts);
+        runtime.shutdown();
     }
 
     #[test]

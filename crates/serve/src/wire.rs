@@ -96,8 +96,10 @@ pub enum Json {
     Str(String),
     /// An array.
     Arr(Vec<Json>),
-    /// An object, in emission order.
-    Obj(Vec<(String, Json)>),
+    /// An object, in emission order. Keys are `Cow` so the encoders
+    /// borrow their `'static` field names (no per-key allocation on the
+    /// hot reply path) while the parser stores owned keys.
+    Obj(Vec<(std::borrow::Cow<'static, str>, Json)>),
 }
 
 /// Nesting depth bound — protocol messages nest ~5 deep; anything deeper
@@ -133,8 +135,18 @@ impl Json {
     /// framing depends on it).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out);
+        self.render_into(&mut out);
         out
+    }
+
+    /// Serializes into a caller-owned buffer, clearing it first. The
+    /// buffer's capacity survives across calls, so a session that reuses
+    /// one buffer renders every steady-state reply without touching the
+    /// allocator (capacity only ever ratchets up to the largest message
+    /// seen).
+    pub fn render_into(&self, out: &mut String) {
+        out.clear();
+        self.write(out);
     }
 
     fn write(&self, out: &mut String) {
@@ -362,7 +374,7 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     self.expect_byte(b':')?;
                     let value = self.value(depth + 1)?;
-                    fields.push((key, value));
+                    fields.push((key.into(), value));
                     self.skip_ws();
                     match self.peek() {
                         Some(b',') => self.pos += 1,
@@ -553,11 +565,14 @@ fn bits(v: f64) -> Json {
     Json::Num(v.to_bits().to_string())
 }
 
-fn obj(fields: Vec<(&str, Json)>) -> Json {
+// Field names are compile-time literals, so the arena borrows them:
+// building an envelope allocates only the (exact-sized) field vector,
+// never the keys.
+fn obj(fields: Vec<(&'static str, Json)>) -> Json {
     Json::Obj(
         fields
             .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
+            .map(|(k, v)| (std::borrow::Cow::Borrowed(k), v))
             .collect(),
     )
 }
@@ -1074,6 +1089,15 @@ fn decode_serve_error(v: &Json) -> Result<ServeError, WireError> {
 
 /// Encodes one request line (no trailing newline).
 pub fn encode_request(id: u64, work: &Work) -> String {
+    let mut out = String::new();
+    encode_request_into(id, work, &mut out);
+    out
+}
+
+/// [`encode_request`] into a reusable buffer (cleared first): a client
+/// that keeps one buffer per session renders steady-state requests
+/// without allocating the line itself.
+pub fn encode_request_into(id: u64, work: &Work, out: &mut String) {
     let (kind, req) = match work {
         Work::Sim(r) => ("sim", encode_sim_request(r)),
         Work::Functional(r) => ("functional", encode_functional_request(r)),
@@ -1083,7 +1107,7 @@ pub fn encode_request(id: u64, work: &Work) -> String {
         ("kind", Json::Str(kind.into())),
         ("req", req),
     ])
-    .render()
+    .render_into(out);
 }
 
 /// Decodes one request line.
@@ -1108,6 +1132,15 @@ pub fn decode_request(line: &str) -> Result<(u64, Work), WireError> {
 /// protocol-level (`malformed`) error replies, which answer lines whose
 /// id could not be read.
 pub fn encode_reply(id: Option<u64>, outcome: &Result<Reply, ServeError>) -> String {
+    let mut out = String::new();
+    encode_reply_into(id, outcome, &mut out);
+    out
+}
+
+/// [`encode_reply`] into a reusable buffer (cleared first): the server
+/// session loops keep one buffer per connection so steady-state replies
+/// reuse its capacity instead of allocating a fresh line each time.
+pub fn encode_reply_into(id: Option<u64>, outcome: &Result<Reply, ServeError>, out: &mut String) {
     let id_json = match id {
         Some(id) => num_u64(id),
         None => Json::Null,
@@ -1129,11 +1162,18 @@ pub fn encode_reply(id: Option<u64>, outcome: &Result<Reply, ServeError>) -> Str
         ),
         Err(e) => ("err", encode_serve_error(e)),
     };
-    obj(vec![("id", id_json), (body.0, body.1)]).render()
+    obj(vec![("id", id_json), (body.0, body.1)]).render_into(out);
 }
 
 /// Encodes the protocol-level error reply for an undecodable line.
 pub fn encode_malformed_reply(err: &WireError) -> String {
+    let mut out = String::new();
+    encode_malformed_reply_into(err, &mut out);
+    out
+}
+
+/// [`encode_malformed_reply`] into a reusable buffer (cleared first).
+pub fn encode_malformed_reply_into(err: &WireError, out: &mut String) {
     obj(vec![
         ("id", Json::Null),
         (
@@ -1144,7 +1184,7 @@ pub fn encode_malformed_reply(err: &WireError) -> String {
             ]),
         ),
     ])
-    .render()
+    .render_into(out);
 }
 
 /// Decodes one reply line into `(id, outcome)`; `id` is `None` for
@@ -1197,30 +1237,37 @@ pub struct WireServeReport {
 /// Only transport I/O errors; protocol problems are replies.
 pub fn serve_lines<R: BufRead, W: Write>(
     runtime: &ServiceRuntime,
-    reader: R,
+    mut reader: R,
     mut writer: W,
 ) -> std::io::Result<WireServeReport> {
     let mut report = WireServeReport::default();
-    for line in reader.lines() {
-        let line = line?;
+    // One request-line and one reply buffer per session, reused across
+    // every request: in the steady state both have ratcheted up to the
+    // largest message seen and the codec stops touching the allocator.
+    let mut line = String::new();
+    let mut reply = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(report);
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let mut reply = match decode_request(&line) {
+        match decode_request(line.trim_end_matches(['\n', '\r'])) {
             Ok((id, work)) => {
                 report.served += 1;
-                encode_reply(Some(id), &runtime.submit(work))
+                encode_reply_into(Some(id), &runtime.submit(work), &mut reply);
             }
             Err(e) => {
                 report.protocol_errors += 1;
-                encode_malformed_reply(&e)
+                encode_malformed_reply_into(&e, &mut reply);
             }
-        };
+        }
         reply.push('\n');
         writer.write_all(reply.as_bytes())?;
         writer.flush()?;
     }
-    Ok(report)
 }
 
 /// How often an idle TCP session wakes from its blocking read to check
@@ -1245,6 +1292,9 @@ fn serve_connection(
     use std::io::BufRead as _;
     let mut report = WireServeReport::default();
     let mut line = String::new();
+    // Reused across requests like `line`: steady-state replies render
+    // into retained capacity instead of allocating a line per reply.
+    let mut reply = String::new();
     let mut stop_grace = 0u32;
     loop {
         line.clear();
@@ -1283,16 +1333,16 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let mut reply = match decode_request(&line) {
+        match decode_request(line.trim_end_matches(['\n', '\r'])) {
             Ok((id, work)) => {
                 report.served += 1;
-                encode_reply(Some(id), &runtime.submit(work))
+                encode_reply_into(Some(id), &runtime.submit(work), &mut reply);
             }
             Err(e) => {
                 report.protocol_errors += 1;
-                encode_malformed_reply(&e)
+                encode_malformed_reply_into(&e, &mut reply);
             }
-        };
+        }
         // One write per reply — a separate tiny "\n" write would incur
         // the Nagle/delayed-ACK stall `set_nodelay` exists to avoid.
         reply.push('\n');
@@ -1415,6 +1465,10 @@ pub struct WireClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    // Per-session codec buffers, reused across calls so steady-state
+    // requests and replies run on retained capacity.
+    line: String,
+    reply_line: String,
 }
 
 impl WireClient {
@@ -1434,6 +1488,8 @@ impl WireClient {
             reader,
             writer,
             next_id: 1,
+            line: String::new(),
+            reply_line: String::new(),
         })
     }
 
@@ -1448,21 +1504,21 @@ impl WireClient {
         self.next_id += 1;
         // One syscall per message: a trailing small write of just "\n"
         // would re-trigger the Nagle stall `set_nodelay` avoids.
-        let mut line = encode_request(id, work);
-        line.push('\n');
+        encode_request_into(id, work, &mut self.line);
+        self.line.push('\n');
         self.writer
-            .write_all(line.as_bytes())
+            .write_all(self.line.as_bytes())
             .and_then(|()| self.writer.flush())
             .map_err(|e| WireError::Io(e.to_string()))?;
-        let mut reply_line = String::new();
+        self.reply_line.clear();
         let n = self
             .reader
-            .read_line(&mut reply_line)
+            .read_line(&mut self.reply_line)
             .map_err(|e| WireError::Io(e.to_string()))?;
         if n == 0 {
             return Err(WireError::Io("server closed the connection".into()));
         }
-        let (reply_id, outcome) = decode_reply(reply_line.trim_end())?;
+        let (reply_id, outcome) = decode_reply(self.reply_line.trim_end())?;
         match reply_id {
             // A protocol-level (id-less) error reply still answers *this*
             // request: the protocol is strictly one reply per line, in

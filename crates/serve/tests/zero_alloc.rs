@@ -1,0 +1,179 @@
+//! Zero-alloc steady-state regression pin, behind `--features alloc-count`.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator and tallies
+//! every `alloc`/`realloc`/`alloc_zeroed` call in the process. With the
+//! profile and plan tiers warm and the generation cache pinned, serving
+//! the full suite batch again must perform **zero** heap allocations —
+//! the entire hot path (cache lookups, `run_planned` replay, response
+//! construction) runs on plain data and pre-resolved `Arc`s.
+//!
+//! The functional path cannot be literally zero-alloc (each response
+//! carries a freshly assembled result matrix the caller keeps), so its
+//! pin is relative: with the scratch pool on, a steady-state request
+//! allocates strictly less than the same request with pooling disabled —
+//! the kernel + output-assembly scratch comes from recycled pool
+//! inventory instead of the allocator.
+//!
+//! Tests in this binary serialize on a mutex: the counters are global, so
+//! a concurrently running test would pollute a measurement window.
+
+#![cfg(feature = "alloc-count")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tailors_serve::{FunctionalRequest, SimRequest, SimService};
+use tailors_sim::{ArchConfig, GridMode, MemBudget, Variant};
+use tailors_tensor::storage::{pooling_enabled, set_pooling};
+
+/// Tallies allocator calls; frees are deliberately not counted (dropping
+/// a warmed response between windows must not perturb the measurement).
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the only addition is a relaxed counter bump,
+// which cannot itself allocate or violate layout requirements.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `System` in `alloc`/`realloc`
+        // above with this `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` come from a prior `System` allocation;
+        // `new_size` obeys the caller's `GlobalAlloc` obligations.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+/// Serializes the measurement windows (counters are process-global).
+static WINDOW: Mutex<()> = Mutex::new(());
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::SeqCst)
+}
+
+fn suite_requests(scale: f64) -> Vec<SimRequest> {
+    let arch = ArchConfig::extensor().scaled(scale);
+    tailors_workloads::suite()
+        .iter()
+        .flat_map(|wl| {
+            [
+                Variant::ExTensorN,
+                Variant::ExTensorP,
+                Variant::default_ob(),
+            ]
+            .map(|variant| SimRequest {
+                workload: wl.scaled(scale),
+                variant,
+                arch,
+                budget: MemBudget::Unbounded,
+                grid: GridMode::Panels,
+                auto_plan: false,
+            })
+        })
+        .collect()
+}
+
+/// The acceptance pin: with every cache tier warm, re-serving the whole
+/// suite batch performs exactly zero heap allocations.
+#[test]
+fn hot_served_suite_batch_allocates_nothing() {
+    let _window = WINDOW.lock().unwrap_or_else(|e| e.into_inner());
+    let reqs = suite_requests(1.0 / 64.0);
+    // Pin the tensors so the generation cache cannot evict and force a
+    // regeneration mid-window.
+    let pinned: Vec<_> = reqs
+        .iter()
+        .map(|r| tailors_workloads::generate_cached(&r.workload))
+        .collect();
+    let service = SimService::new();
+    // Two warm passes: the first fills the profile/plan tiers, the
+    // second flushes any one-time lazy work so the window sees only the
+    // steady state.
+    for req in &reqs {
+        black_box(service.submit(req));
+    }
+    for req in &reqs {
+        black_box(service.submit(req));
+    }
+
+    let before = allocs();
+    for req in &reqs {
+        black_box(service.submit(req));
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "hot suite batch must not touch the allocator ({} requests)",
+        reqs.len()
+    );
+    drop(pinned);
+}
+
+/// The functional steady state: pooled scratch makes a warm request
+/// allocate strictly less than the identical request with pooling off.
+/// (The residual pooled allocations are the response's own result
+/// buffers, which the caller keeps — those can never come from a pool.)
+#[test]
+fn pooled_functional_request_allocates_less_than_fresh() {
+    let _window = WINDOW.lock().unwrap_or_else(|e| e.into_inner());
+    let scale = 1.0 / 64.0;
+    let wl = tailors_workloads::suite()[0].scaled(scale);
+    let req = FunctionalRequest {
+        workload: wl,
+        variant: Variant::default_ob(),
+        arch: ArchConfig::extensor().scaled(scale),
+        budget: MemBudget::bytes(1 << 20),
+        grid: GridMode::Panels,
+        auto_plan: false,
+        threads: 1,
+    };
+    let pinned = tailors_workloads::generate_cached(&req.workload);
+    let service = SimService::new();
+
+    let was_pooling = pooling_enabled();
+    set_pooling(true);
+    for _ in 0..2 {
+        service.run_functional(&req).expect("warm pooled serve");
+    }
+    let before = allocs();
+    black_box(service.run_functional(&req).expect("pooled serve"));
+    let pooled = allocs() - before;
+
+    set_pooling(false);
+    service.run_functional(&req).expect("settle fresh serve");
+    let before = allocs();
+    black_box(service.run_functional(&req).expect("fresh serve"));
+    let fresh = allocs() - before;
+    set_pooling(was_pooling);
+
+    assert!(
+        pooled < fresh,
+        "pooled steady state must allocate less than fresh-alloc \
+         (pooled {pooled} vs fresh {fresh})"
+    );
+    drop(pinned);
+}

@@ -74,6 +74,9 @@
 use crate::exec::{run_balanced, BufferParams, ExecutionPlan, GridMode, MemBudget, PlanUnit};
 use tailors_eddo::{Buffet, EddoError, Tailor, TailorConfig};
 use tailors_tensor::ops::BlockedSpa;
+use tailors_tensor::storage::{
+    MmapStorage, PanelBuffers, PanelPayload, PoolHandle, PoolStats, ScratchPool, ShapeClass,
+};
 use tailors_tensor::{CooMatrix, CsrMatrix, TileColPtr};
 
 /// A structurally invalid engine configuration, reported through the
@@ -101,6 +104,15 @@ pub enum ConfigError {
     },
     /// The worker-thread count is zero.
     ZeroThreads,
+    /// A spilled run's `cols_b` does not match the tile width the spill
+    /// file was written with (the file's per-tile segments *are* the
+    /// streamed tiles, so the two must agree).
+    SpillTileMismatch {
+        /// Columns per tile in the spill file.
+        file_cols: usize,
+        /// Columns per tile in the run configuration.
+        config_cols: usize,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -117,6 +129,13 @@ impl core::fmt::Display for ConfigError {
                 )
             }
             ConfigError::ZeroThreads => write!(f, "thread count must be positive"),
+            ConfigError::SpillTileMismatch {
+                file_cols,
+                config_cols,
+            } => write!(
+                f,
+                "spill file was tiled at cols_b={file_cols} but the run asks for {config_cols}"
+            ),
         }
     }
 }
@@ -132,6 +151,9 @@ pub enum EngineError {
     Config(ConfigError),
     /// A buffer-protocol violation surfaced mid-run.
     Buffer(EddoError),
+    /// The spill tier failed to page an operand in ([`run_spilled`]);
+    /// carries the I/O error kind (the error itself is not `Copy`).
+    Spill(std::io::ErrorKind),
 }
 
 impl From<ConfigError> for EngineError {
@@ -146,11 +168,18 @@ impl From<EddoError> for EngineError {
     }
 }
 
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Spill(e.kind())
+    }
+}
+
 impl core::fmt::Display for EngineError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             EngineError::Config(e) => write!(f, "invalid configuration: {e}"),
             EngineError::Buffer(e) => write!(f, "buffer protocol error: {e}"),
+            EngineError::Spill(kind) => write!(f, "spill-tier I/O error: {kind}"),
         }
     }
 }
@@ -411,11 +440,11 @@ fn run_panels_mode(
     let mut overbooked = 0usize;
     for result in panel_results {
         let p = result?;
-        for len in p.row_lens {
+        for &len in &p.out.row_lens {
             row_ptr.push(row_ptr.last().expect("non-empty") + len);
         }
-        cols.extend_from_slice(&p.cols);
-        vals.extend_from_slice(&p.vals);
+        cols.extend_from_slice(&p.out.cols);
+        vals.extend_from_slice(&p.out.vals);
         dram_a += p.dram_a_fetches;
         dram_b += dram_b_per_a_tile;
         overbooked += usize::from(p.overbooked);
@@ -518,9 +547,9 @@ pub fn run_grid(
         for lr in 0..panel_rows {
             let before = cols.len();
             for (u, cursor) in panel_outputs.iter().zip(cursors.iter_mut()) {
-                let len = u.row_lens[lr];
-                cols.extend_from_slice(&u.cols[*cursor..*cursor + len]);
-                vals.extend_from_slice(&u.vals[*cursor..*cursor + len]);
+                let len = u.out.row_lens[lr];
+                cols.extend_from_slice(&u.out.cols[*cursor..*cursor + len]);
+                vals.extend_from_slice(&u.out.vals[*cursor..*cursor + len]);
                 *cursor += len;
             }
             row_ptr.push(row_ptr.last().expect("non-empty") + (cols.len() - before));
@@ -538,26 +567,22 @@ pub fn run_grid(
 }
 
 /// Output of one stationary row panel.
+///
+/// The assembly buffers (`row_lens` per output row, sorted `cols`, and
+/// `vals`, rows concatenated) travel as a pooled handle: the stitch reads
+/// through it and the drop at end of stitching returns the buffers to the
+/// worker's scratch slab for the next panel.
 struct PanelOutput {
-    /// Nonzeros per output row of the panel, in row order.
-    row_lens: Vec<usize>,
-    /// Sorted output columns, rows concatenated.
-    cols: Vec<u32>,
-    /// Output values parallel to `cols`.
-    vals: Vec<f64>,
+    out: PoolHandle<PanelBuffers>,
     dram_a_fetches: u64,
     overbooked: bool,
 }
 
 /// Output of one (panel × block) unit: the panel's rows restricted to the
-/// block's columns.
+/// block's columns, in the same pooled assembly buffers as
+/// [`PanelOutput`].
 struct UnitOutput {
-    /// Nonzeros per output row within this block, in row order.
-    row_lens: Vec<usize>,
-    /// Sorted output columns (all within the block), rows concatenated.
-    cols: Vec<u32>,
-    /// Output values parallel to `cols`.
-    vals: Vec<f64>,
+    out: PoolHandle<PanelBuffers>,
 }
 
 /// The accumulator interface the per-unit kernel dispatch needs: the
@@ -793,56 +818,75 @@ fn run_panel(
     let overbooked = tile.len() > config.capacity;
 
     // SPA scratch spanning the panel's output rows × one plan column
-    // block. Both kernels are thread-local and reused across panels and
-    // runs; extraction restores the all-zero invariant as it goes.
+    // block, and the panel's assembly buffers — both checked out of the
+    // worker's scratch pool by shape class, so steady-state runs on warm
+    // threads allocate nothing here. Extraction restores the SPA's
+    // all-zero invariant as it goes.
     let panel_rows = m1 - m0;
-    PANEL_SCRATCH.with(|scratch| {
-        let spa = &mut *scratch.borrow_mut();
+    let class = ShapeClass::of(panel_rows, plan.block_cols());
+    SCRATCH_POOL.with(|pool| {
+        pool.set_retention(config.mem_budget.limit_bytes());
+        let mut spa = pool.checkout_spa(class);
+        let mut out = pool.checkout_buffers(class);
 
         let mut driver = TileDriver::new(tile, config)?;
         // Per-row staging across blocks. A single-block plan (the
         // unbudgeted default) extracts rows directly into the flat output
         // instead, skipping the staging copy on the historical hot path.
         let multi_block = plan.n_col_blocks() > 1;
-        let mut staged: Vec<(Vec<u32>, Vec<f64>)> = if multi_block {
-            vec![Default::default(); panel_rows]
-        } else {
-            Vec::new()
-        };
-
-        let mut row_lens = Vec::with_capacity(panel_rows);
-        let mut cols: Vec<u32> = Vec::new();
-        let mut vals: Vec<f64> = Vec::new();
+        if multi_block {
+            out.ensure_staged_rows(panel_rows);
+        }
 
         for unit in plan.panel_units(ti) {
             let sink = if multi_block {
-                BlockSink::Staged(&mut staged)
+                BlockSink::Staged(&mut out.staged[..panel_rows])
             } else {
+                let PanelBuffers {
+                    row_lens,
+                    cols,
+                    vals,
+                    ..
+                } = &mut *out;
                 BlockSink::Direct {
-                    row_lens: &mut row_lens,
-                    cols: &mut cols,
-                    vals: &mut vals,
+                    row_lens,
+                    cols,
+                    vals,
                 }
             };
-            run_block_dispatch(a, spa, &mut driver, b, b_tiles, config, &unit, n, sink)?;
+            run_block_dispatch(a, &mut spa, &mut driver, b, b_tiles, config, &unit, n, sink)?;
         }
 
         if multi_block {
-            for (row_cols, row_vals) in staged {
-                row_lens.push(row_cols.len());
-                cols.extend_from_slice(&row_cols);
-                vals.extend_from_slice(&row_vals);
-            }
+            merge_staged(&mut out, panel_rows);
         }
 
         Ok(PanelOutput {
-            row_lens,
-            cols,
-            vals,
+            out,
             dram_a_fetches: driver.fetches(),
             overbooked,
         })
     })
+}
+
+/// Concatenates a panel's per-row staged block segments (in row order,
+/// blocks already in column order within each row) into the flat assembly
+/// buffers, draining each staging vector in place so its capacity is
+/// recycled with the pooled buffer set.
+fn merge_staged(out: &mut PanelBuffers, panel_rows: usize) {
+    let PanelBuffers {
+        row_lens,
+        cols,
+        vals,
+        staged,
+    } = out;
+    for (row_cols, row_vals) in staged[..panel_rows].iter_mut() {
+        row_lens.push(row_cols.len());
+        cols.extend_from_slice(row_cols);
+        vals.extend_from_slice(row_vals);
+        row_cols.clear();
+        row_vals.clear();
+    }
 }
 
 /// Executes one (panel × block) unit with a private buffer driver,
@@ -859,25 +903,30 @@ fn run_unit(
     let tile = PanelElems::new(a, m0, m1);
     let occ = tile.len() as u64;
     let overbooked = tile.len() > config.capacity;
-    let panel_rows = m1 - m0;
     // This unit's share of the streamed operand: the nonzeros of B columns
     // [c0, c1) are the nonzeros of A rows [c0, c1).
     let dram_b = a.row_range_nnz(unit.cols.start, unit.cols.end) as u64;
 
-    PANEL_SCRATCH.with(|scratch| {
-        let spa = &mut *scratch.borrow_mut();
+    let class = ShapeClass::of(unit.rows.len(), unit.cols.len());
+    SCRATCH_POOL.with(|pool| {
+        pool.set_retention(config.mem_budget.limit_bytes());
+        let mut spa = pool.checkout_spa(class);
+        let mut out = pool.checkout_buffers(class);
         let mut driver = TileDriver::new(tile, config)?;
-        let mut row_lens = Vec::with_capacity(panel_rows);
-        let mut cols: Vec<u32> = Vec::new();
-        let mut vals: Vec<f64> = Vec::new();
+        let PanelBuffers {
+            row_lens,
+            cols,
+            vals,
+            ..
+        } = &mut *out;
         let sink = BlockSink::Direct {
-            row_lens: &mut row_lens,
-            cols: &mut cols,
-            vals: &mut vals,
+            row_lens,
+            cols,
+            vals,
         };
         if dense_kernel_for(a, unit) {
             run_block(
-                &mut DenseMode(spa),
+                &mut DenseMode(&mut spa),
                 &mut driver,
                 b,
                 b_tiles,
@@ -887,7 +936,7 @@ fn run_unit(
                 sink,
             )?;
         } else {
-            run_block(spa, &mut driver, b, b_tiles, config, unit, n, sink)?;
+            run_block(&mut *spa, &mut driver, b, b_tiles, config, unit, n, sink)?;
         }
 
         // The per-block reduction (see the module docs): block 0 is the
@@ -901,11 +950,7 @@ fn run_unit(
             private - occ + driver.steady_refetch()
         };
         Ok((
-            UnitOutput {
-                row_lens,
-                cols,
-                vals,
-            },
+            UnitOutput { out },
             UnitTraffic {
                 row_panel: unit.row_panel,
                 col_block: unit.col_block,
@@ -919,14 +964,318 @@ fn run_unit(
 }
 
 thread_local! {
-    /// Per-thread SPA scratch for [`run_panel`] / [`run_unit`]: all-zero
-    /// between panels by construction (extraction drains it), reused
-    /// across panels and runs on the same thread. One allocation serves
-    /// both dispatch kernels — [`DenseMode`] is a view over it — so the
-    /// per-thread footprint stays within the planner's budget no matter
-    /// how blocks dispatch.
-    static PANEL_SCRATCH: std::cell::RefCell<BlockedSpa> =
-        std::cell::RefCell::new(BlockedSpa::new());
+    /// Per-thread scratch pool for [`run_panel`] / [`run_unit`] /
+    /// [`run_spilled`]: SPA accumulators (all-zero between panels by
+    /// construction — extraction drains them) and panel assembly buffers,
+    /// recycled by shape class across panels, runs, and served requests
+    /// on the same thread. One SPA serves both dispatch kernels —
+    /// [`DenseMode`] is a view over it — so the per-thread footprint
+    /// stays within the planner's budget no matter how blocks dispatch;
+    /// retention is re-capped from each run's `MemBudget`.
+    static SCRATCH_POOL: ScratchPool = ScratchPool::new();
+}
+
+/// Counters of the **calling thread's** engine scratch pool (each worker
+/// thread keeps its own; a serve runtime worker reports its own numbers).
+/// `misses` staying flat across warmed runs is what "the kernel path
+/// allocates nothing" looks like from the inside; the allocator-level
+/// regression test in `tailors-serve` pins it from the outside.
+pub fn scratch_pool_stats() -> PoolStats {
+    SCRATCH_POOL.with(|pool| pool.stats())
+}
+
+/// Frees the calling thread's idle pooled scratch (outstanding handles
+/// are unaffected). Useful for tests that want a cold pool.
+pub fn clear_scratch_pool() {
+    SCRATCH_POOL.with(|pool| pool.clear());
+}
+
+/// Executes the tiled dataflow against a file-backed operand
+/// ([`MmapStorage`]) instead of an in-RAM [`CsrMatrix`], paging row
+/// panels of `A` and column tiles of `B = Aᵀ` in on demand — so matrices
+/// whose CSR payload exceeds the configured RAM budget stream through the
+/// planner's row-panel × column-block working sets.
+///
+/// The traversal order, buffer-driver configuration, accumulation order,
+/// and traffic accounting are identical to [`run_with_threads`] in
+/// [`GridMode::Panels`] at the same plan, so the result — every field —
+/// is **bit-identical** to the in-RAM run and to [`reference_run`] (the
+/// property suite pins it). While a panel is traversed the engine
+/// prefetches the next column tile in [`ExecutionPlan`] order, keeping
+/// the tile cache's eviction aligned with the plan.
+///
+/// `config.grid` and `config.auto_plan` are ignored: a spilled run is
+/// always panel-mode (a private driver per (panel, block) unit has no
+/// residency advantage when tiles page in per checkout anyway), and
+/// auto-planning needs the occupancy profile of a resident matrix —
+/// callers that want an auto plan derive it where the profile lives and
+/// pass the chosen `rows_a` in.
+///
+/// # Errors
+///
+/// As [`run_with_threads`], plus [`ConfigError::SpillTileMismatch`] when
+/// `config.cols_b` differs from the tile width the spill file was written
+/// with, and [`EngineError::Spill`] when paging fails mid-run.
+pub fn run_spilled(
+    store: &MmapStorage,
+    config: &FunctionalConfig,
+    threads: usize,
+) -> Result<FunctionalResult, EngineError> {
+    let n = store.nrows();
+    if n != store.ncols() {
+        return Err(ConfigError::NonSquare {
+            nrows: n,
+            ncols: store.ncols(),
+        }
+        .into());
+    }
+    if config.capacity == 0 {
+        return Err(ConfigError::ZeroCapacity.into());
+    }
+    if config.rows_a == 0 || config.cols_b == 0 {
+        return Err(ConfigError::ZeroTileDims {
+            rows_a: config.rows_a,
+            cols_b: config.cols_b,
+        }
+        .into());
+    }
+    if threads == 0 {
+        return Err(ConfigError::ZeroThreads.into());
+    }
+    if config.cols_b != store.tile_cols() {
+        return Err(ConfigError::SpillTileMismatch {
+            file_cols: store.tile_cols(),
+            config_cols: config.cols_b,
+        }
+        .into());
+    }
+    let plan = ExecutionPlan::new(n, n, config.rows_a, config.cols_b, config.mem_budget);
+    let n_a_tiles = plan.n_row_panels();
+    let dram_b_per_a_tile: u64 = store.nnz() as u64;
+
+    // Panel costs from the resident row pointers — same formula as the
+    // in-RAM path, no I/O.
+    let costs: Vec<u128> = (0..n_a_tiles)
+        .map(|ti| {
+            let r = plan.panel_rows(ti);
+            store.row_range_nnz(r.start, r.end) as u128 + 1
+        })
+        .collect();
+    let panel_results = run_balanced(n_a_tiles, &costs, threads, |ti| {
+        run_spilled_panel(store, config, &plan, ti)
+    });
+
+    let mut row_ptr: Vec<usize> = Vec::with_capacity(n + 1);
+    row_ptr.push(0);
+    let mut cols: Vec<u32> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut dram_a = 0u64;
+    let mut dram_b = 0u64;
+    let mut overbooked = 0usize;
+    for result in panel_results {
+        let p = result?;
+        for &len in &p.out.row_lens {
+            row_ptr.push(row_ptr.last().expect("non-empty") + len);
+        }
+        cols.extend_from_slice(&p.out.cols);
+        vals.extend_from_slice(&p.out.vals);
+        dram_a += p.dram_a_fetches;
+        dram_b += dram_b_per_a_tile;
+        overbooked += usize::from(p.overbooked);
+    }
+    let z = CsrMatrix::from_parts(n, n, row_ptr, cols, vals)
+        .expect("panel emission produces canonical CSR");
+    Ok(FunctionalResult {
+        z,
+        dram_a_fetches: dram_a,
+        dram_b_fetches: dram_b,
+        overbooked_a_tiles: overbooked,
+    })
+}
+
+/// [`run_panel`] against the spill tier: pages the panel's `A` payload in
+/// once, then runs the plan's blocks with each streamed `B` tile checked
+/// out of (and the next one prefetched into) the store's residency cache.
+fn run_spilled_panel(
+    store: &MmapStorage,
+    config: &FunctionalConfig,
+    plan: &ExecutionPlan,
+    ti: usize,
+) -> Result<PanelOutput, EngineError> {
+    let rows = plan.panel_rows(ti);
+    let (m0, m1) = (rows.start, rows.end);
+    let payload = store.load_panel(m0, m1)?;
+    let tile = SpilledPanel::new(&payload, m0);
+    let overbooked = tile.len() > config.capacity;
+    let panel_rows = m1 - m0;
+    let class = ShapeClass::of(panel_rows, plan.block_cols());
+    SCRATCH_POOL.with(|pool| {
+        pool.set_retention(config.mem_budget.limit_bytes());
+        let mut spa = pool.checkout_spa(class);
+        let mut out = pool.checkout_buffers(class);
+
+        let mut driver = TileDriver::new(tile, config).map_err(EngineError::from)?;
+        let multi_block = plan.n_col_blocks() > 1;
+        if multi_block {
+            out.ensure_staged_rows(panel_rows);
+        }
+
+        for unit in plan.panel_units(ti) {
+            let sink = if multi_block {
+                BlockSink::Staged(&mut out.staged[..panel_rows])
+            } else {
+                let PanelBuffers {
+                    row_lens,
+                    cols,
+                    vals,
+                    ..
+                } = &mut *out;
+                BlockSink::Direct {
+                    row_lens,
+                    cols,
+                    vals,
+                }
+            };
+            // Kernel dispatch parity with the in-RAM path: the same
+            // predicted-fill inputs (panel occupancy, block occupancy,
+            // nnz) read from the resident row pointers.
+            if dense_kernel_for_spilled(store, &unit) {
+                run_spill_block(&mut DenseMode(&mut spa), &mut driver, store, &unit, sink)?;
+            } else {
+                run_spill_block(&mut *spa, &mut driver, store, &unit, sink)?;
+            }
+        }
+
+        if multi_block {
+            merge_staged(&mut out, panel_rows);
+        }
+
+        Ok(PanelOutput {
+            out,
+            dram_a_fetches: driver.fetches(),
+            overbooked,
+        })
+    })
+}
+
+/// [`dense_kernel_for`] with its inputs read from the spill store's
+/// resident row pointers — identical arithmetic, so a spilled run makes
+/// exactly the per-unit kernel choices the in-RAM run makes.
+fn dense_kernel_for_spilled(store: &MmapStorage, unit: &PlanUnit) -> bool {
+    let slots = unit.rows.len() as f64 * unit.cols.len() as f64;
+    let nnz = store.nnz() as f64;
+    if slots == 0.0 || nnz == 0.0 {
+        return false;
+    }
+    let occ_panel = store.row_range_nnz(unit.rows.start, unit.rows.end) as f64;
+    let occ_block = store.row_range_nnz(unit.cols.start, unit.cols.end) as f64;
+    occ_panel * occ_block >= DENSE_FILL_THRESHOLD * slots * nnz
+}
+
+/// [`run_block`] against the spill tier: every streamed tile of the block
+/// is checked out of the store's cache (its `Arc` keeps it alive across
+/// eviction) and the *next* tile in plan order is prefetched before the
+/// traversal starts. Tile payloads carry global column indices and
+/// per-`B`-row slices, so the traversal body is the in-RAM one verbatim.
+fn run_spill_block<A: UnitSpa>(
+    spa: &mut A,
+    driver: &mut TileDriver<SpilledPanel<'_>>,
+    store: &MmapStorage,
+    unit: &PlanUnit,
+    sink: BlockSink<'_>,
+) -> Result<(), EngineError> {
+    let (m0, c0) = (unit.rows.start, unit.cols.start);
+    spa.reset_shape(unit.rows.len(), unit.cols.len());
+    for tj in unit.tiles.clone() {
+        let tile_b = match store.checkout_tile(tj) {
+            Ok(t) => t,
+            Err(e) => {
+                // Restore the all-zero invariant before propagating.
+                spa.clear();
+                return Err(e.into());
+            }
+        };
+        if tj + 1 < store.n_tiles() {
+            // Warm the cache for the next tile in plan order. A prefetch
+            // failure is not fatal here: the demand checkout that
+            // actually needs the tile reports it.
+            let _ = store.prefetch(tj + 1);
+        }
+        let traversed = driver.traverse(|&(m, k, va)| {
+            let (lo, hi) = (tile_b.row_ptr[k as usize], tile_b.row_ptr[k as usize + 1]);
+            let local_row = m as usize - m0;
+            for (&nn, &vb) in tile_b.cols[lo..hi].iter().zip(&tile_b.vals[lo..hi]) {
+                spa.accumulate(local_row, nn as usize - c0, va * vb);
+            }
+        });
+        if let Err(e) = traversed {
+            spa.clear();
+            return Err(e.into());
+        }
+    }
+    match sink {
+        BlockSink::Staged(staged) => {
+            for (lr, (row_cols, row_vals)) in staged.iter_mut().enumerate() {
+                spa.drain_row(lr, c0 as u32, row_cols, row_vals);
+            }
+        }
+        BlockSink::Direct {
+            row_lens,
+            cols,
+            vals,
+        } => {
+            for lr in 0..unit.rows.len() {
+                let before = cols.len();
+                spa.drain_row(lr, c0 as u32, cols, vals);
+                row_lens.push(cols.len() - before);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A paged-in row panel of the spilled stationary operand, viewed as a
+/// [`TileSource`]: the payload's row pointers are rebased to the panel,
+/// so the flat element index *is* the payload index.
+struct SpilledPanel<'a> {
+    payload: &'a PanelPayload,
+    /// Amortized-O(1) row lookup, exactly as in [`PanelElems`].
+    cursor: core::cell::Cell<usize>,
+    m0: usize,
+}
+
+impl<'a> SpilledPanel<'a> {
+    fn new(payload: &'a PanelPayload, m0: usize) -> Self {
+        SpilledPanel {
+            payload,
+            cursor: core::cell::Cell::new(0),
+            m0,
+        }
+    }
+}
+
+impl TileSource for SpilledPanel<'_> {
+    fn len(&self) -> usize {
+        self.payload.cols.len()
+    }
+
+    fn get(&self, i: usize) -> Elem {
+        debug_assert!(i < self.len());
+        let rp = &self.payload.row_ptr;
+        let mut lr = self.cursor.get();
+        if i < rp[lr] {
+            lr = 0;
+        }
+        while i >= rp[lr + 1] {
+            lr += 1;
+        }
+        self.cursor.set(lr);
+        (
+            (self.m0 + lr) as u32,
+            self.payload.cols[i],
+            self.payload.vals[i],
+        )
+    }
 }
 
 /// Indexed access to a stationary tile's elements.

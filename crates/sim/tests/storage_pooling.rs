@@ -1,0 +1,244 @@
+//! Property tests for the storage-handle layer: pooled-scratch runs are
+//! bit-identical to fresh-alloc runs across arbitrary interleavings of
+//! request shapes through one shared per-thread pool (shape-class
+//! collisions, pool eviction under tight `MemBudget`, 1/4/8 threads),
+//! and spilled runs ([`run_spilled`] over a file-backed operand paged in
+//! panel-by-panel and tile-by-tile) diff clean against `reference_run`
+//! in every reported field.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tailors_sim::functional::{
+    clear_scratch_pool, reference_run, run_spilled, run_with_threads, scratch_pool_stats,
+    FunctionalConfig,
+};
+use tailors_sim::{GridMode, MemBudget};
+use tailors_tensor::gen::GenSpec;
+use tailors_tensor::storage::{pooling_enabled, set_pooling, MmapStorage};
+
+/// Serializes tests that toggle the process-wide pooling switch, so a
+/// concurrently running test never observes a half-finished toggle.
+static POOL_TOGGLE: Mutex<()> = Mutex::new(());
+
+/// Restores the pooling switch when a test scope ends, panic or not.
+struct PoolingGuard(bool);
+
+impl PoolingGuard {
+    fn hold() -> (std::sync::MutexGuard<'static, ()>, PoolingGuard) {
+        let lock = POOL_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        (lock, PoolingGuard(pooling_enabled()))
+    }
+}
+
+impl Drop for PoolingGuard {
+    fn drop(&mut self) {
+        set_pooling(self.0);
+    }
+}
+
+fn config(
+    capacity: usize,
+    fifo_frac: usize,
+    rows_a: usize,
+    cols_b: usize,
+    overbooking: bool,
+    budget: MemBudget,
+) -> FunctionalConfig {
+    FunctionalConfig {
+        capacity,
+        fifo_region: (capacity * fifo_frac / 100).clamp(1, capacity.saturating_sub(1).max(1)),
+        rows_a,
+        cols_b,
+        overbooking,
+        mem_budget: budget,
+        grid: GridMode::Panels,
+        auto_plan: false,
+    }
+}
+
+fn unique_spill_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "tailors_pooltest_{}_{}_{}.tspill",
+        std::process::id(),
+        tag,
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// An arbitrary interleaving of differently-shaped requests through
+    /// one shared pool — shape-class collisions, recycled buffers, and
+    /// eviction under arbitrary (including tiny) retention budgets —
+    /// produces bit-identical results to the same sequence with pooling
+    /// disabled (every buffer freshly allocated), at 1, 4, and 8 threads.
+    #[test]
+    fn pooled_interleavings_match_fresh_alloc_runs(
+        seed in 0u64..30,
+        heavy in proptest::bool::ANY,
+        capacity in 8usize..120,
+        fifo_frac in 1usize..90,
+        shapes in proptest::collection::vec((1usize..70, 1usize..70, 0u64..40_000), 1..6),
+        threads_sel in 0usize..3,
+    ) {
+        let threads = [1usize, 4, 8][threads_sel];
+        let spec = if heavy {
+            GenSpec::power_law(48, 48, 400)
+        } else {
+            GenSpec::uniform(48, 48, 300)
+        };
+        let a = spec.seed(seed).generate();
+        let configs: Vec<FunctionalConfig> = shapes
+            .iter()
+            .map(|&(rows_a, cols_b, budget)| {
+                config(capacity, fifo_frac, rows_a, cols_b, true, MemBudget::bytes(budget))
+            })
+            .collect();
+
+        let (_lock, _restore) = PoolingGuard::hold();
+        set_pooling(true);
+        let pooled: Vec<_> = configs
+            .iter()
+            .map(|c| run_with_threads(&a, c, threads).expect("pooled run"))
+            .collect();
+        // Same sequence again through the now-warm pool: recycled
+        // buffers must change nothing.
+        let warm: Vec<_> = configs
+            .iter()
+            .map(|c| run_with_threads(&a, c, threads).expect("warm pooled run"))
+            .collect();
+        set_pooling(false);
+        let fresh: Vec<_> = configs
+            .iter()
+            .map(|c| run_with_threads(&a, c, threads).expect("fresh-alloc run"))
+            .collect();
+        prop_assert_eq!(&pooled, &fresh);
+        prop_assert_eq!(&warm, &fresh);
+        for (c, r) in configs.iter().zip(&fresh) {
+            let oracle = reference_run(&a, c).expect("seed engine");
+            prop_assert_eq!(&r.z, &oracle.z);
+            prop_assert_eq!(r.dram_a_fetches, oracle.dram_a_fetches);
+            prop_assert_eq!(r.dram_b_fetches, oracle.dram_b_fetches);
+            prop_assert_eq!(r.overbooked_a_tiles, oracle.overbooked_a_tiles);
+        }
+    }
+
+    /// A spilled run — `A` panels and `B = Aᵀ` tiles paged in from the
+    /// spill file under an arbitrary (often single-tile) residency
+    /// budget — is bit-identical to `reference_run` and to the in-RAM
+    /// engine in every reported field, at every thread count.
+    #[test]
+    fn spilled_runs_diff_clean_vs_reference(
+        seed in 0u64..30,
+        heavy in proptest::bool::ANY,
+        capacity in 8usize..120,
+        fifo_frac in 1usize..90,
+        rows_a in 1usize..70,
+        tile_exp in 0u32..7,
+        budget_bytes in 0u64..40_000,
+        residency_sel in 0usize..4,
+        threads_sel in 0usize..3,
+    ) {
+        let residency = [None, Some(1u64), Some(4_096), Some(1 << 20)][residency_sel];
+        let threads = [1usize, 2, 4][threads_sel];
+        let spec = if heavy {
+            GenSpec::power_law(48, 48, 400)
+        } else {
+            GenSpec::uniform(48, 48, 300)
+        };
+        let a = spec.seed(seed).generate();
+        let cols_b = 1usize << tile_exp; // 1..=64
+        let cfg = config(capacity, fifo_frac, rows_a, cols_b, true, MemBudget::bytes(budget_bytes));
+
+        let path = unique_spill_path("prop");
+        MmapStorage::store(&a, cols_b, &path).expect("store spill file");
+        let store = MmapStorage::open(&path, residency).expect("open spill file");
+        let spilled = run_spilled(&store, &cfg, threads).expect("spilled run");
+        std::fs::remove_file(&path).ok();
+
+        let in_ram = run_with_threads(&a, &cfg, 1).expect("in-RAM run");
+        prop_assert_eq!(&spilled, &in_ram);
+        let oracle = reference_run(&a, &cfg).expect("seed engine");
+        prop_assert_eq!(&spilled.z, &oracle.z);
+        prop_assert_eq!(spilled.dram_a_fetches, oracle.dram_a_fetches);
+        prop_assert_eq!(spilled.dram_b_fetches, oracle.dram_b_fetches);
+        prop_assert_eq!(spilled.overbooked_a_tiles, oracle.overbooked_a_tiles);
+    }
+}
+
+/// The steady-state contract behind the serve-side zero-alloc pin, seen
+/// from the pool's own counters: once a shape class has been through the
+/// per-thread pool, repeating the same request is all hits — the kernel
+/// path allocates no new scratch.
+#[test]
+fn warm_pool_serves_repeat_runs_without_misses() {
+    let a = GenSpec::power_law(64, 64, 700).seed(5).generate();
+    // Roomy budget: retention must exceed the scratch working set, or the
+    // pool (correctly) evicts between runs and every repeat re-allocates.
+    let cfg = config(64, 25, 16, 16, true, MemBudget::bytes(1 << 20));
+
+    let (_lock, _restore) = PoolingGuard::hold();
+    set_pooling(true);
+    clear_scratch_pool();
+    run_with_threads(&a, &cfg, 1).expect("warmup run");
+    let warm = scratch_pool_stats();
+    for _ in 0..3 {
+        run_with_threads(&a, &cfg, 1).expect("steady-state run");
+    }
+    let steady = scratch_pool_stats();
+    assert_eq!(
+        steady.misses, warm.misses,
+        "steady-state repeats must not allocate new pool inventory"
+    );
+    assert!(steady.checkouts > warm.checkouts);
+    assert_eq!(steady.checkouts, steady.hits + steady.misses);
+}
+
+/// A retention cap smaller than any scratch buffer forces the pool to
+/// evict everything at return time — and results still match the seed
+/// engine exactly (eviction only frees memory, never changes behaviour).
+#[test]
+fn tight_budget_evicts_pool_inventory_without_changing_results() {
+    let a = GenSpec::uniform(48, 48, 300).seed(9).generate();
+    // A 1-byte scratch budget: the plan degenerates to single-tile blocks
+    // and the pool can retain nothing.
+    let cfg = config(32, 50, 8, 8, true, MemBudget::bytes(1));
+
+    let (_lock, _restore) = PoolingGuard::hold();
+    set_pooling(true);
+    clear_scratch_pool();
+    let before = scratch_pool_stats();
+    let run = run_with_threads(&a, &cfg, 1).expect("tight-budget run");
+    let after = scratch_pool_stats();
+    assert!(after.evictions > before.evictions, "nothing was evicted");
+    assert_eq!(after.resident_bytes, 0, "cap must hold after the run");
+
+    let oracle = reference_run(&a, &cfg).expect("seed engine");
+    assert_eq!(run.z, oracle.z);
+    assert_eq!(run.dram_a_fetches, oracle.dram_a_fetches);
+    assert_eq!(run.dram_b_fetches, oracle.dram_b_fetches);
+}
+
+/// Mismatched `cols_b` is a typed config error, not a wrong answer.
+#[test]
+fn spill_tile_mismatch_is_rejected() {
+    use tailors_sim::functional::{ConfigError, EngineError};
+    let a = GenSpec::uniform(32, 32, 150).seed(3).generate();
+    let path = unique_spill_path("mismatch");
+    MmapStorage::store(&a, 8, &path).expect("store spill file");
+    let store = MmapStorage::open(&path, None).expect("open spill file");
+    let cfg = config(32, 50, 8, 16, true, MemBudget::Unbounded);
+    let err = run_spilled(&store, &cfg, 1).expect_err("cols_b mismatch must be rejected");
+    assert_eq!(
+        err,
+        EngineError::Config(ConfigError::SpillTileMismatch {
+            file_cols: 8,
+            config_cols: 16
+        })
+    );
+    std::fs::remove_file(&path).ok();
+}

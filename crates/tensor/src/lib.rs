@@ -56,6 +56,7 @@ pub mod gen;
 pub mod ops;
 pub mod simd;
 pub mod stats;
+pub mod storage;
 pub mod tiling;
 
 pub use coo::CooMatrix;

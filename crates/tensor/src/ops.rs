@@ -106,6 +106,17 @@ impl BlockedSpa {
         self.dense.len()
     }
 
+    /// Heap bytes currently backing the accumulator (capacities, not the
+    /// logical shape) — what slab-pool retention accounting charges for
+    /// keeping this scratch warm.
+    pub fn heap_bytes(&self) -> u64 {
+        let touched_inner: usize = self.touched.iter().map(|t| t.capacity() * 4).sum();
+        (self.dense.capacity() * 8
+            + self.mask.capacity() * 8
+            + self.touched.capacity() * core::mem::size_of::<Vec<u32>>()
+            + touched_inner) as u64
+    }
+
     /// Adds `v` to slot (`row`, `col`) and marks its occupancy bit.
     ///
     /// `row < rows()` and `col < width()` are preconditions checked only
