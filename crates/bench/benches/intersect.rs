@@ -353,7 +353,47 @@ fn bench_serving(c: &mut Criterion) {
             }
         })
     });
+    // The same hot batch through the consistent-hash shard router over
+    // three in-process wire shards (each its own runtime + cache tiers,
+    // warmed by one routed pass). The gap to `wire_overhead_hot_1_64` is
+    // the routing layer itself: identity memo + ring lookup, per-shard
+    // LPT fan-out, and reply reassembly.
+    let mut shard_runtimes = Vec::new();
+    let mut shard_servers = Vec::new();
+    for _ in 0..3 {
+        let rt = std::sync::Arc::new(tailors_serve::ServiceRuntime::new(
+            tailors_serve::RuntimeConfig::default(),
+        ));
+        shard_servers.push(
+            tailors_serve::WireTcpServer::spawn(std::sync::Arc::clone(&rt), "127.0.0.1:0")
+                .expect("bind shard server"),
+        );
+        shard_runtimes.push(rt);
+    }
+    let endpoints: Vec<String> = shard_servers.iter().map(|s| s.addr().to_string()).collect();
+    let router =
+        tailors_serve::ShardRouter::connect(&endpoints, tailors_serve::RouterConfig::default())
+            .expect("router dials shards");
+    let works: Vec<tailors_serve::Work> =
+        reqs.iter().cloned().map(tailors_serve::Work::Sim).collect();
+    for outcome in router.submit_batch(&works) {
+        outcome.expect("warming pass served");
+    }
+    g.bench_function("router_overhead_hot_1_64", |bch| {
+        bch.iter(|| {
+            for outcome in router.submit_batch(&works) {
+                black_box(outcome.expect("request served"));
+            }
+        })
+    });
     g.finish();
+    drop(router);
+    for mut s in shard_servers {
+        s.stop();
+    }
+    for rt in &shard_runtimes {
+        rt.shutdown();
+    }
     server.stop();
     runtime.shutdown();
     drop(pinned);

@@ -51,6 +51,12 @@
 //! fully accounted. Set `TAILORS_FAULTS` (e.g. `panic:7,latency:3`) to
 //! run it under deterministic fault injection; it inherits the
 //! environment.
+//!
+//! `--router` appends the sharded-router smoke (`serve --router-smoke`):
+//! the suite batch consistent-hash-routed across three spawned wire
+//! shard processes and proven bit-identical to an in-process baseline,
+//! then replayed with one shard hard-killed mid-stream to prove failover
+//! completes with the fleet accounting ledger intact.
 
 use std::process::Command;
 
@@ -65,9 +71,10 @@ fn main() {
     let mut gen_cache = true;
     let mut serve = false;
     let mut wire = false;
+    let mut router = false;
     let mut args = std::env::args().skip(1);
     const USAGE: &str = "usage: run_all [scale] [--threads N] [--mem-budget SPEC] [--grid MODE] \
-         [--auto-plan] [--calibrate] [--no-simd] [--no-gen-cache] [--serve] [--wire]";
+         [--auto-plan] [--calibrate] [--no-simd] [--no-gen-cache] [--serve] [--wire] [--router]";
     while let Some(arg) = args.next() {
         if arg == "--threads" {
             let n = args.next().expect("--threads requires a value");
@@ -101,6 +108,8 @@ fn main() {
             serve = true;
         } else if arg == "--wire" {
             wire = true;
+        } else if arg == "--router" {
+            router = true;
         } else if arg.starts_with('-') {
             panic!("unknown flag {arg:?}; {USAGE}");
         } else if scale.is_none() {
@@ -130,9 +139,15 @@ fn main() {
         bins.push(("serve", "serve", &["--sweeps", "3", "--verify"]));
     }
     if wire {
-        // Last: the wire smoke exercises the full runtime stack (codec,
+        // Late: the wire smoke exercises the full runtime stack (codec,
         // TCP, mailbox, workers) over the already-cached suite tensors.
         bins.push(("serve --wire-smoke", "serve", &["--wire-smoke"]));
+    }
+    if router {
+        // Last: the sharded-router smoke spawns three wire shard
+        // processes of its own and exercises ring placement + failover
+        // on top of everything the wire smoke covers.
+        bins.push(("serve --router-smoke", "serve", &["--router-smoke"]));
     }
     for (label, bin, extra) in bins {
         println!();

@@ -6,7 +6,8 @@
 //! Usage: `cargo run --release -p tailors-serve --bin serve --
 //! [scale] [--sweeps N] [--threads N] [--mem-budget SPEC] [--grid MODE]
 //! [--auto-plan] [--calibrate] [--no-simd] [--verify] [--smoke-functional]
-//! [--wire ADDR | --wire-stdio | --wire-smoke]`
+//! [--wire ADDR | --wire-stdio | --wire-smoke]
+//! [--router N | --shards ADDR,ADDR,... | --router-smoke]`
 //!
 //! `--no-simd` pins `TAILORS_SIMD=off` for the process: every fiber
 //! intersection takes the portable scalar superblock path (results are
@@ -36,6 +37,21 @@
 //!   `panic:7,latency:3`), under which completed replies must *still*
 //!   be bit-identical and nothing may be lost.
 //!
+//! The three `--router*`/`--shards` modes put the consistent-hash
+//! [`ShardRouter`] in front of N wire shard processes:
+//!
+//! * `--router N` — spawn N child `serve --wire 127.0.0.1:0` shard
+//!   processes, route the suite sweeps through them, and assert every
+//!   hot sweep is bit-identical to the first.
+//! * `--shards ADDR,ADDR,...` — the same sweeps against an existing
+//!   fleet of wire servers (no children spawned).
+//! * `--router-smoke` — self-contained CI round trip, two legs: a
+//!   3-shard suite batch proven bit-identical to an in-process
+//!   baseline, then a shard killed mid-stream with failover proven to
+//!   complete and the fleet accounting ledger
+//!   (`completed + rejected + timed_out + faulted == submitted`)
+//!   proven intact.
+//!
 //! The batch is the full 22-workload suite × the three variants at
 //! `scale` (default 1.0), submitted through
 //! [`SimService::submit_batch`]'s cost-balanced LPT scheduler. `--threads`
@@ -59,8 +75,8 @@ use std::time::Instant;
 
 use tailors_serve::wire::{serve_lines, WireClient, WireTcpServer};
 use tailors_serve::{
-    FaultPlan, FunctionalRequest, Reply, RuntimeConfig, ServeConfig, ServeError, ServiceRuntime,
-    SimRequest, SimService, Work,
+    FaultPlan, FunctionalRequest, Reply, RouterConfig, RuntimeConfig, ServeConfig, ServeError,
+    ServiceRuntime, ShardRouter, SimRequest, SimService, Work,
 };
 use tailors_sim::functional::reference_run;
 use tailors_sim::{
@@ -83,6 +99,9 @@ fn main() {
     let mut wire_addr: Option<String> = None;
     let mut wire_stdio = false;
     let mut wire_smoke = false;
+    let mut router: Option<usize> = None;
+    let mut shard_list: Option<String> = None;
+    let mut router_smoke = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -115,6 +134,15 @@ fn main() {
             "--wire" => wire_addr = Some(next("--wire")),
             "--wire-stdio" => wire_stdio = true,
             "--wire-smoke" => wire_smoke = true,
+            "--router" => {
+                router = Some(
+                    next("--router")
+                        .parse()
+                        .expect("--router: positive shard count"),
+                )
+            }
+            "--shards" => shard_list = Some(next("--shards")),
+            "--router-smoke" => router_smoke = true,
             other if !other.starts_with('-') => {
                 scale = other.parse().expect("scale: a number in (0, 1]");
                 assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
@@ -148,6 +176,30 @@ fn main() {
     }
     if wire_smoke {
         run_wire_smoke(scale, threads);
+        return;
+    }
+    if router_smoke {
+        run_router_smoke(scale, threads);
+        return;
+    }
+    if let Some(list) = shard_list {
+        let endpoints: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        run_router_sweeps(&endpoints, scale, threads, sweeps);
+        return;
+    }
+    if let Some(n) = router {
+        assert!(n > 0, "--router needs at least one shard");
+        let fleet = spawn_shard_fleet(n, threads);
+        let endpoints: Vec<String> = fleet.iter().map(|s| s.addr.clone()).collect();
+        run_router_sweeps(&endpoints, scale, threads, sweeps);
+        for shard in fleet {
+            shard.stop();
+        }
         return;
     }
 
@@ -584,4 +636,282 @@ fn run_wire_smoke(scale: f64, threads: usize) {
     }
     println!("wire smoke: every completed reply bit-identical to the in-process baseline");
     println!("OK");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded router modes
+// ---------------------------------------------------------------------------
+
+/// One spawned shard process: `serve --wire 127.0.0.1:0` with its stdin
+/// piped (EOF is its drain-and-exit signal) and its bound address parsed
+/// from the startup banner.
+struct ChildShard {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl ChildShard {
+    /// Graceful stop: close stdin so the shard drains and exits, then
+    /// reap it.
+    fn stop(mut self) {
+        drop(self.child.stdin.take());
+        let _ = self.child.wait();
+    }
+
+    /// Hard kill, as a crashed worker: no drain, connections reset.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `n` shard processes of this same binary and waits for each to
+/// report its bound (ephemeral) address. Shard stdout is drained on a
+/// thread so a chatty shard can never block on a full pipe.
+fn spawn_shard_fleet(n: usize, threads: usize) -> Vec<ChildShard> {
+    let exe = std::env::current_exe().expect("current executable path");
+    (0..n)
+        .map(|i| {
+            let mut child = std::process::Command::new(&exe)
+                .arg("--wire")
+                .arg("127.0.0.1:0")
+                .arg("--threads")
+                .arg(threads.to_string())
+                .stdin(std::process::Stdio::piped())
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn shard {i}: {e}"));
+            let stdout = child.stdout.take().expect("piped shard stdout");
+            let mut reader = std::io::BufReader::new(stdout);
+            let addr = loop {
+                let mut line = String::new();
+                let bytes = reader
+                    .read_line(&mut line)
+                    .unwrap_or_else(|e| panic!("shard {i} stdout: {e}"));
+                if bytes == 0 {
+                    panic!("shard {i} exited before binding its wire port");
+                }
+                if let Some(bound) = line.trim().strip_prefix("wire: listening on ") {
+                    break bound.to_string();
+                }
+            };
+            std::thread::spawn(move || {
+                let mut sink = String::new();
+                loop {
+                    sink.clear();
+                    match reader.read_line(&mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+            });
+            println!("router: shard {i} up at {addr}");
+            ChildShard { child, addr }
+        })
+        .collect()
+}
+
+/// The suite batch every router mode drives: 22 workloads × 3 variants,
+/// in suite order (the same stream `--wire-smoke` uses).
+fn router_batch(scale: f64) -> Vec<SimRequest> {
+    let variants = [
+        Variant::ExTensorN,
+        Variant::ExTensorP,
+        Variant::default_ob(),
+    ];
+    tailors_workloads::suite()
+        .iter()
+        .flat_map(|wl| {
+            variants
+                .iter()
+                .filter_map(|&v| SimRequest::suite(wl.name, scale, v))
+        })
+        .collect()
+}
+
+/// `--router N` / `--shards ...`: suite sweeps through the ring, hot
+/// sweeps proven bit-identical to the first, fleet ledger proven
+/// balanced.
+fn run_router_sweeps(endpoints: &[String], scale: f64, threads: usize, sweeps: usize) {
+    let batch = router_batch(scale);
+    let works: Vec<Work> = batch.iter().cloned().map(Work::Sim).collect();
+    println!(
+        "router: {} requests/sweep over {} shards at scale {scale}, {threads} threads",
+        works.len(),
+        endpoints.len()
+    );
+    let router =
+        ShardRouter::connect(endpoints, RouterConfig::default()).expect("router dials every shard");
+    let mut first: Option<Vec<tailors_serve::SimResponse>> = None;
+    for sweep in 1..=sweeps {
+        let t = Instant::now();
+        let outcomes = router.submit_batch(&works);
+        let elapsed = t.elapsed();
+        let responses: Vec<tailors_serve::SimResponse> = outcomes
+            .into_iter()
+            .map(|o| o.expect("request served").into_sim().expect("sim reply"))
+            .collect();
+        println!("router sweep {sweep}: {elapsed:.2?}");
+        match &first {
+            None => first = Some(responses),
+            Some(cold) => {
+                for (c, h) in cold.iter().zip(&responses) {
+                    assert_eq!(c.name, h.name);
+                    assert_eq!(
+                        c.metrics, h.metrics,
+                        "{}: routed sweep diverged from the first",
+                        c.name
+                    );
+                }
+            }
+        }
+    }
+    report_router(&router);
+    println!("OK");
+}
+
+/// Prints the fleet ledger and per-shard rollup, asserting the
+/// accounting invariant.
+fn report_router(router: &ShardRouter) {
+    let stats = router.stats();
+    println!(
+        "router: {} submitted = {} completed + {} faulted + {} rejected + {} timed out \
+         ({} failovers, {} spills, {} reconnects, {} shards down)",
+        stats.submitted,
+        stats.completed,
+        stats.faulted,
+        stats.rejected,
+        stats.timed_out,
+        stats.failovers,
+        stats.spills,
+        stats.reconnects,
+        stats.shards_down,
+    );
+    for (i, s) in router.shard_stats().iter().enumerate() {
+        println!(
+            "router: shard {i}: {} calls, {} replies, {} typed errors, {} transport errors, \
+             {} reconnects{}",
+            s.calls,
+            s.replies,
+            s.typed_errors,
+            s.transport_errors,
+            s.reconnects,
+            if s.down { " [down]" } else { "" },
+        );
+    }
+    assert_eq!(
+        stats.accounted(),
+        stats.submitted,
+        "fleet accounting must balance"
+    );
+}
+
+/// `--router-smoke`: the two-leg CI round trip. Leg one routes the suite
+/// batch through three freshly spawned shards and proves every completed
+/// reply bit-identical to an in-process baseline. Leg two kills one
+/// shard mid-stream (a hard process kill, between the two halves of the
+/// batch) and proves failover completes — the dead shard's keys re-home,
+/// payloads stay bit-identical, and the fleet ledger stays balanced.
+fn run_router_smoke(scale: f64, threads: usize) {
+    let batch = router_batch(scale);
+    let works: Vec<Work> = batch.iter().cloned().map(Work::Sim).collect();
+    println!(
+        "router smoke: {} requests over 3 shards at scale {scale}",
+        works.len()
+    );
+    let baseline_service = SimService::new();
+    let baseline = baseline_service.submit_batch(&batch, threads.max(1));
+
+    let mut fleet = spawn_shard_fleet(3, threads);
+    let endpoints: Vec<String> = fleet.iter().map(|s| s.addr.clone()).collect();
+    let router = ShardRouter::connect(&endpoints, RouterConfig::default())
+        .expect("router dials every shard");
+
+    // Leg one: everything healthy — route the whole batch.
+    let t = Instant::now();
+    let healthy = drive_router(&router, &works, &baseline);
+    println!(
+        "router smoke leg 1: {:.2?}; {} completed, {} faulted, {} rejected, {} timed out",
+        t.elapsed(),
+        healthy[0],
+        healthy[1],
+        healthy[2],
+        healthy[3],
+    );
+    assert!(healthy[0] > 0, "leg 1 must complete requests");
+    let stats = router.stats();
+    assert_eq!(stats.shards_down, 0, "leg 1 must not lose a shard");
+    assert_eq!(stats.failovers, 0, "leg 1 must not fail over");
+
+    // Leg two: replay the batch in two halves and hard-kill one shard
+    // between them — a shard that provably owns keys in the second half,
+    // so failover is exercised, not just possible.
+    let mid = works.len() / 2;
+    let victim = router.primary(&works[mid]);
+    let t = Instant::now();
+    let first_half = drive_router(&router, &works[..mid], &baseline[..mid]);
+    println!("router smoke leg 2: killing shard {victim} mid-stream");
+    fleet[victim].kill();
+    let second_half = drive_router(&router, &works[mid..], &baseline[mid..]);
+    println!(
+        "router smoke leg 2: {:.2?}; {} completed, {} faulted, {} rejected, {} timed out \
+         after losing shard {victim}",
+        t.elapsed(),
+        first_half[0] + second_half[0],
+        first_half[1] + second_half[1],
+        first_half[2] + second_half[2],
+        first_half[3] + second_half[3],
+    );
+    let stats = router.stats();
+    assert_eq!(stats.shards_down, 1, "exactly the killed shard goes down");
+    assert!(router.down_shards()[victim], "the victim is the down shard");
+    assert!(
+        stats.failovers >= 1,
+        "losing an owning shard mid-stream must fail over"
+    );
+    report_router(&router);
+
+    for shard in fleet {
+        shard.stop();
+    }
+    println!("router smoke: both legs bit-identical to the in-process baseline");
+    println!("OK");
+}
+
+/// Routes `works` and checks every completed reply bitwise against the
+/// in-process `expect` baseline; returns
+/// `[completed, faulted, rejected, timed_out]`. Non-completed outcomes
+/// are legitimate only under armed fault injection — with a healthy or
+/// merely degraded (not empty) fleet, everything must complete.
+fn drive_router(
+    router: &ShardRouter,
+    works: &[Work],
+    expect: &[tailors_serve::SimResponse],
+) -> [u64; 4] {
+    let outcomes = router.submit_batch(works);
+    let mut tally = [0u64; 4];
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(reply) => {
+                let resp = reply.into_sim().expect("sim reply");
+                assert_eq!(resp.name, expect[i].name);
+                assert_eq!(
+                    resp.metrics, expect[i].metrics,
+                    "{}: routed reply diverged from the in-process baseline",
+                    expect[i].name
+                );
+                tally[0] += 1;
+            }
+            Err(ServeError::Faulted { .. }) => tally[1] += 1,
+            Err(ServeError::Timeout { .. }) => tally[3] += 1,
+            Err(e) => {
+                assert!(
+                    FaultPlan::from_env().is_active(),
+                    "unexpected rejection without faults armed: {e}"
+                );
+                tally[2] += 1;
+            }
+        }
+    }
+    tally
 }

@@ -79,20 +79,22 @@ mod lru;
 pub mod mailbox;
 pub mod runtime;
 mod service;
+pub mod shard;
 pub mod sync;
 pub mod wire;
 
 pub use lru::Lru;
 pub use mailbox::{Mailbox, MailboxStats, Priority, PushError};
 pub use runtime::{
-    FaultPlan, OverloadReason, Reply, RetryPolicy, RuntimeConfig, RuntimeStats, ServeError,
-    ServiceRuntime, ShutdownReport, Work,
+    FaultPlan, FaultSpecError, OverloadReason, Reply, RetryPolicy, RuntimeConfig, RuntimeStats,
+    ServeError, ServiceRuntime, ShutdownReport, Work,
 };
 pub use service::{
     CacheHits, FunctionalRequest, FunctionalResponse, MatrixId, ServeConfig, ServeStats,
     SimRequest, SimResponse, SimService,
 };
-pub use wire::{WireClient, WireError, WireServeReport, WireTcpServer};
+pub use shard::{HashRing, RouterConfig, RouterStats, ShardRouter, ShardStats};
+pub use wire::{WireClient, WireError, WireServeReport, WireStopReport, WireTcpServer};
 
 #[cfg(test)]
 mod tests {

@@ -70,7 +70,7 @@ impl Work {
         }
     }
 
-    fn workload(&self) -> &tailors_workloads::Workload {
+    pub(crate) fn workload(&self) -> &tailors_workloads::Workload {
         match self {
             Work::Sim(r) => &r.workload,
             Work::Functional(r) => &r.workload,
@@ -214,6 +214,46 @@ impl core::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Why a `TAILORS_FAULTS` spec was refused by [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// An entry was not of the form `kind:N`.
+    NotKindCount(String),
+    /// The count after the `:` was not an unsigned integer.
+    BadCount {
+        /// The fault kind whose count failed to parse.
+        kind: String,
+        /// The offending count text.
+        count: String,
+    },
+    /// The kind is not one the injector knows.
+    UnknownKind(String),
+    /// The same kind (counting `full`/`reject` as one) appeared twice.
+    DuplicateKind(String),
+}
+
+impl core::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultSpecError::NotKindCount(part) => {
+                write!(f, "fault spec {part:?} is not kind:N")
+            }
+            FaultSpecError::BadCount { kind, count } => {
+                write!(
+                    f,
+                    "fault count {count:?} for kind {kind:?} is not an integer"
+                )
+            }
+            FaultSpecError::UnknownKind(kind) => write!(f, "unknown fault kind {kind:?}"),
+            FaultSpecError::DuplicateKind(kind) => {
+                write!(f, "fault kind {kind:?} appears more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// Deterministic fault injection: each kind fires on every `N`-th
 /// occasion its counter reaches a multiple of `N` (counters are global
 /// across workers, so exactly `⌊executed / N⌋` faults fire regardless of
@@ -247,27 +287,58 @@ impl FaultPlan {
 
     /// Parses a spec like `"panic:7,latency:3,full:5"`. Kinds: `panic`,
     /// `latency`, `full` (alias `reject`), plus `latency_ms:<ms>` to size
-    /// the injected delay. An empty spec is [`FaultPlan::none`].
+    /// the injected delay. Entries and their pieces are
+    /// whitespace-trimmed, so `" panic:7 , latency:3 "` parses the same
+    /// as its tight form. An empty spec is [`FaultPlan::none`].
+    ///
+    /// Each kind may appear **at most once** (`full`/`reject` count as
+    /// one kind): a duplicate is refused with
+    /// [`FaultSpecError::DuplicateKind`] rather than silently letting the
+    /// last entry win — a fault harness whose spec says two different
+    /// things must not quietly run under one of them.
     ///
     /// # Errors
     ///
-    /// Returns a description of the malformed input.
-    pub fn parse(s: &str) -> Result<Self, String> {
+    /// A typed [`FaultSpecError`] describing the malformed input.
+    pub fn parse(s: &str) -> Result<Self, FaultSpecError> {
         let mut plan = FaultPlan::none();
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut claim = |kind: &'static str| {
+            if seen.contains(&kind) {
+                Err(FaultSpecError::DuplicateKind(kind.to_string()))
+            } else {
+                seen.push(kind);
+                Ok(())
+            }
+        };
         for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (kind, count) = part
                 .split_once(':')
-                .ok_or_else(|| format!("fault spec {part:?} is not kind:N"))?;
-            let n: u64 = count
-                .trim()
-                .parse()
-                .map_err(|_| format!("fault count {count:?} is not an integer"))?;
+                .ok_or_else(|| FaultSpecError::NotKindCount(part.to_string()))?;
+            let n: u64 = count.trim().parse().map_err(|_| FaultSpecError::BadCount {
+                kind: kind.trim().to_string(),
+                count: count.trim().to_string(),
+            })?;
             match kind.trim().to_ascii_lowercase().as_str() {
-                "panic" => plan.panic_every = (n > 0).then_some(n),
-                "latency" => plan.latency_every = (n > 0).then_some(n),
-                "full" | "reject" => plan.reject_every = (n > 0).then_some(n),
-                "latency_ms" => plan.latency_ms = n,
-                other => return Err(format!("unknown fault kind {other:?}")),
+                "panic" => {
+                    claim("panic")?;
+                    plan.panic_every = (n > 0).then_some(n);
+                }
+                "latency" => {
+                    claim("latency")?;
+                    plan.latency_every = (n > 0).then_some(n);
+                }
+                // One underlying knob, two spellings: a spec naming both
+                // is a duplicate, not two settings.
+                "full" | "reject" => {
+                    claim("full")?;
+                    plan.reject_every = (n > 0).then_some(n);
+                }
+                "latency_ms" => {
+                    claim("latency_ms")?;
+                    plan.latency_ms = n;
+                }
+                other => return Err(FaultSpecError::UnknownKind(other.to_string())),
             }
         }
         Ok(plan)
@@ -871,9 +942,51 @@ mod tests {
         assert!(p.is_active());
         assert!(!FaultPlan::parse("").unwrap().is_active());
         assert!(FaultPlan::parse("panic:0").unwrap().panic_every.is_none());
-        assert!(FaultPlan::parse("panic").is_err());
-        assert!(FaultPlan::parse("panic:x").is_err());
-        assert!(FaultPlan::parse("explode:3").is_err());
+        assert_eq!(
+            FaultPlan::parse("panic"),
+            Err(FaultSpecError::NotKindCount("panic".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("panic:x"),
+            Err(FaultSpecError::BadCount {
+                kind: "panic".into(),
+                count: "x".into(),
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("explode:3"),
+            Err(FaultSpecError::UnknownKind("explode".into()))
+        );
+    }
+
+    #[test]
+    fn fault_plan_tolerates_whitespace_around_entries() {
+        let p = FaultPlan::parse("  panic : 7 ,\tlatency:3 , latency_ms: 2  ,").unwrap();
+        assert_eq!(p.panic_every, Some(7));
+        assert_eq!(p.latency_every, Some(3));
+        assert_eq!(p.latency_ms, 2);
+        assert_eq!(
+            p,
+            FaultPlan::parse("panic:7,latency:3,latency_ms:2").unwrap()
+        );
+    }
+
+    #[test]
+    fn fault_plan_rejects_duplicate_kinds() {
+        assert_eq!(
+            FaultPlan::parse("panic:7,panic:3"),
+            Err(FaultSpecError::DuplicateKind("panic".into()))
+        );
+        // `full` and `reject` spell the same knob — together they are a
+        // duplicate, not two settings.
+        assert_eq!(
+            FaultPlan::parse("full:5,reject:9"),
+            Err(FaultSpecError::DuplicateKind("full".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("latency_ms:2,latency:4,latency_ms:8"),
+            Err(FaultSpecError::DuplicateKind("latency_ms".into()))
+        );
     }
 
     #[test]

@@ -46,8 +46,10 @@ impl MatrixId {
 
 /// A workload spec's identity — the same fields the generation cache keys
 /// by, so equal specs resolve to one [`MatrixId`] without regeneration.
+/// Shared with the shard router, which memoizes spec → identity the same
+/// way to route requests by content hash without regenerating tensors.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SpecKey {
+pub(crate) struct SpecKey {
     name: &'static str,
     seed: u64,
     nrows: usize,
@@ -56,7 +58,7 @@ struct SpecKey {
 }
 
 impl SpecKey {
-    fn of(wl: &Workload) -> SpecKey {
+    pub(crate) fn of(wl: &Workload) -> SpecKey {
         SpecKey {
             name: wl.name,
             seed: wl.seed,
@@ -65,6 +67,27 @@ impl SpecKey {
             target_nnz: wl.target_nnz,
         }
     }
+}
+
+/// The LPT scheduling cost of one analytical request — the shared
+/// currency of [`SimService::submit_batch`]'s thread bins and the shard
+/// router's per-connection bins. Workload size scales the shared
+/// per-request work (generation/hashing/profiling when cold, row-panel
+/// sums always). A cold request's dominant cost is variant planning,
+/// which differs sharply by variant: overbooked plans run Swiftiles
+/// occupancy sampling and prescient plans scan candidate panel heights,
+/// while ExTensor-N's plan is constant-time — so same-size requests must
+/// not cost the same or one bin inherits all the sampling.
+pub(crate) fn request_cost(wl: &Workload, variant: Variant) -> u128 {
+    let planning = match variant {
+        Variant::ExTensorN => 1,
+        Variant::ExTensorP => 2,
+        Variant::ExTensorOB { .. } => 4,
+        // `Variant` is non_exhaustive; price future variants like the
+        // prescient planner.
+        _ => 2,
+    };
+    (wl.target_nnz as u128 + wl.nrows as u128 + 1) * planning
 }
 
 /// One analytical simulation request: a workload (already at its final
@@ -438,25 +461,7 @@ impl SimService {
         assert!(threads > 0, "thread count must be positive");
         let costs: Vec<u128> = reqs
             .iter()
-            .map(|r| {
-                // Workload size scales the shared per-request work
-                // (generation/hashing/profiling when cold, row-panel sums
-                // always). A cold request's dominant cost is variant
-                // planning, which differs sharply by variant: overbooked
-                // plans run Swiftiles occupancy sampling and prescient
-                // plans scan candidate panel heights, while ExTensor-N's
-                // plan is constant-time — so same-size requests must not
-                // cost the same or one bin inherits all the sampling.
-                let planning = match r.variant {
-                    Variant::ExTensorN => 1,
-                    Variant::ExTensorP => 2,
-                    Variant::ExTensorOB { .. } => 4,
-                    // `Variant` is non_exhaustive; price future variants
-                    // like the prescient planner.
-                    _ => 2,
-                };
-                (r.workload.target_nnz as u128 + r.workload.nrows as u128 + 1) * planning
-            })
+            .map(|r| request_cost(&r.workload, r.variant))
             .collect();
         run_balanced(reqs.len(), &costs, threads, |i| self.submit(&reqs[i]))
     }

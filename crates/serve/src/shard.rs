@@ -1,0 +1,681 @@
+//! Sharded multi-worker routing: a consistent-hash ring over N
+//! `serve --wire` shard processes, with LPT-balanced batch fan-out and
+//! typed failover.
+//!
+//! A single wire runtime serves one process as fast as the hardware
+//! allows; the ROADMAP north star needs more than one worker. The
+//! [`ShardRouter`] here is the thin layer in front of a fleet of shard
+//! processes:
+//!
+//! * **Placement** — every request's workload spec resolves to its
+//!   [`MatrixId`] (content hash + shape; memoized per spec exactly as
+//!   [`SimService`](crate::SimService) memoizes it), and a
+//!   consistent-hash [`HashRing`] maps that identity to a *primary*
+//!   shard. Each shard therefore sees a stable slice of the corpus and
+//!   its cache tiers (and PR 8 TSPILL corpus) stay hot for that slice;
+//!   adding or removing a shard moves only ~K/N keys instead of
+//!   reshuffling everything.
+//! * **Balance** — [`ShardRouter::submit_batch`] groups a batch by
+//!   primary shard, then splits each shard's group across that shard's
+//!   connection pool in cost-balanced LPT bins using the *same* cost
+//!   currency [`SimService::submit_batch`](crate::SimService::submit_batch)
+//!   uses for its thread bins. Replies reassemble in request order, so
+//!   batch payloads keep the bit-exact determinism contract: every shard
+//!   computes the same bytes for the same request, and order is restored
+//!   by index.
+//! * **Failover** — shards fail in typed ways. A transport failure
+//!   (connection refused/reset after the wire client's own
+//!   reconnect-and-retry is exhausted) or a [`ServeError::Shutdown`]
+//!   reply marks the shard **down** (sticky for the router's lifetime)
+//!   and the request moves clockwise to the next live shard on the ring.
+//!   An exhausted *retryable* overload ([`ServeError::retryable`])
+//!   spills to the next shard too, but does **not** mark the shard down
+//!   — it is busy, not gone. Deterministic outcomes (`Faulted`,
+//!   `BadRequest`, `Timeout`) return to the caller unchanged: every
+//!   shard would answer the same, so failing over would only repeat the
+//!   answer slower.
+//!
+//! The router keeps the runtime's accounting invariant across the fleet:
+//! [`RouterStats::accounted`]` == submitted` whenever no submission is in
+//! flight, no matter how many shards died or how many times a request
+//! moved. One router submission is one ledger entry — internal retries,
+//! reconnects, and failover hops are observability counters, never extra
+//! ledger rows.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use tailors_sim::balanced_partition;
+
+use crate::runtime::{Reply, RetryPolicy, ServeError, Work};
+use crate::service::{request_cost, MatrixId, SpecKey};
+use crate::sync::PoisonFreeMutex;
+use crate::wire::{WireClient, WireError};
+
+// FNV-1a, the same hash family `CsrMatrix::content_hash` uses — tiny,
+// dependency-free, and well-mixed enough for ring placement.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A consistent-hash ring: each shard owns `vnodes` pseudo-random
+/// positions on the `u64` circle, and a key belongs to the shard owning
+/// the first position at or clockwise-after the key's own position.
+///
+/// Virtual nodes smooth the per-shard share toward K/N, and consistency
+/// bounds churn: removing a shard only reassigns keys whose first live
+/// position belonged to it — every other key's walk is unchanged. The
+/// ring is deterministic in (shard count, vnodes): two routers built
+/// with the same parameters agree on every assignment.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(position, shard)` pairs.
+    vnodes: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// A ring over `shards` shards with `vnodes` positions each.
+    ///
+    /// # Panics
+    ///
+    /// If `shards` or `vnodes` is zero.
+    pub fn new(shards: usize, vnodes: usize) -> HashRing {
+        assert!(shards > 0, "a ring needs at least one shard");
+        assert!(vnodes > 0, "a ring needs at least one vnode per shard");
+        let mut positions = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for v in 0..vnodes {
+                let mut bytes = [0u8; 16];
+                bytes[..8].copy_from_slice(&(shard as u64).to_le_bytes());
+                bytes[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                positions.push((fnv1a(FNV_OFFSET, &bytes), shard));
+            }
+        }
+        // Sort by (position, shard) so equal positions tie-break
+        // deterministically.
+        positions.sort_unstable();
+        HashRing {
+            vnodes: positions,
+            shards,
+        }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The key position of a matrix identity: all four identity fields
+    /// feed the hash so shape-differing matrices with colliding content
+    /// hashes still spread.
+    fn position(id: &MatrixId) -> u64 {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&id.hash.to_le_bytes());
+        bytes[8..16].copy_from_slice(&(id.nrows as u64).to_le_bytes());
+        bytes[16..24].copy_from_slice(&(id.ncols as u64).to_le_bytes());
+        bytes[24..].copy_from_slice(&(id.nnz as u64).to_le_bytes());
+        fnv1a(FNV_OFFSET, &bytes)
+    }
+
+    /// Index of the first vnode at or clockwise-after `id`'s position.
+    fn first_vnode(&self, id: &MatrixId) -> usize {
+        let pos = Self::position(id);
+        match self.vnodes.binary_search(&(pos, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.vnodes.len() => 0, // wrap
+            Err(i) => i,
+        }
+    }
+
+    /// The shard owning `id` when every shard is live.
+    pub fn assign(&self, id: &MatrixId) -> usize {
+        self.vnodes[self.first_vnode(id)].1
+    }
+
+    /// The shard owning `id` when the shards flagged in `down` are
+    /// excluded: the first clockwise position belonging to a live shard.
+    /// `None` when every shard is down.
+    ///
+    /// Consistency guarantee: if [`HashRing::assign`]`(id)` is live in
+    /// `down`, this returns exactly that shard — taking shards down never
+    /// moves keys the downed shards did not own.
+    ///
+    /// # Panics
+    ///
+    /// If `down.len()` differs from the shard count.
+    pub fn assign_excluding(&self, id: &MatrixId, down: &[bool]) -> Option<usize> {
+        assert_eq!(down.len(), self.shards, "down mask must cover every shard");
+        self.candidates(id).find(|&s| !down[s])
+    }
+
+    /// All shards in clockwise ring order from `id`'s position, each
+    /// once: the failover order. The first element is
+    /// [`HashRing::assign`]`(id)`.
+    pub fn candidates(&self, id: &MatrixId) -> impl Iterator<Item = usize> + '_ {
+        let start = self.first_vnode(id);
+        let mut seen = vec![false; self.shards];
+        let n = self.vnodes.len();
+        (0..n).filter_map(move |step| {
+            let shard = self.vnodes[(start + step) % n].1;
+            if seen[shard] {
+                None
+            } else {
+                seen[shard] = true;
+                Some(shard)
+            }
+        })
+    }
+}
+
+/// Sizing knobs for a [`ShardRouter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Wire connections dialed per shard up front. Batch fan-out splits a
+    /// shard's sub-batch across its connections in LPT bins; the pool
+    /// grows past this high-water mark only if checkout finds it empty.
+    pub connections: usize,
+    /// Virtual nodes per shard on the [`HashRing`].
+    pub vnodes: usize,
+    /// Per-call retry policy handed to
+    /// [`WireClient::call_with_retry`] — governs in-place reconnects and
+    /// retryable-overload backoff *within* one shard, before the router
+    /// considers moving the request.
+    pub retry: RetryPolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            connections: 2,
+            vnodes: 64,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Per-shard observability counters (snapshot; see
+/// [`ShardRouter::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Wire calls attempted against this shard (each may retry
+    /// internally per the router's [`RetryPolicy`]).
+    pub calls: u64,
+    /// Calls that returned a successful [`Reply`].
+    pub replies: u64,
+    /// Calls that returned a typed [`ServeError`].
+    pub typed_errors: u64,
+    /// Calls lost to transport failure after reconnect-retry exhaustion.
+    pub transport_errors: u64,
+    /// In-place stream reconnects performed by this shard's clients.
+    pub reconnects: u64,
+    /// Whether the router has marked the shard down (sticky).
+    pub down: bool,
+}
+
+#[derive(Debug, Default)]
+struct ShardCounters {
+    calls: AtomicU64,
+    replies: AtomicU64,
+    typed_errors: AtomicU64,
+    transport_errors: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+/// The router's fleet-wide accounting ledger — the multi-shard rollup of
+/// [`RuntimeStats`](crate::RuntimeStats): one row per router submission,
+/// regardless of how many shards the request visited on the way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterStats {
+    /// Requests submitted to the router.
+    pub submitted: u64,
+    /// Requests that returned a [`Reply`].
+    pub completed: u64,
+    /// Typed rejections (overload on every live shard, bad request,
+    /// shutdown / all shards down).
+    pub rejected: u64,
+    /// Requests whose per-shard deadline elapsed.
+    pub timed_out: u64,
+    /// Structured `Faulted` outcomes (isolated panics, engine errors,
+    /// unretried protocol errors).
+    pub faulted: u64,
+    /// Requests that moved to another shard after a transport failure or
+    /// shutdown reply (counted once per hop).
+    pub failovers: u64,
+    /// Requests that spilled to another shard after exhausting retryable
+    /// overload on one (the busy shard stays up; counted once per hop).
+    pub spills: u64,
+    /// Stream reconnects across every shard's clients.
+    pub reconnects: u64,
+    /// Shards currently marked down.
+    pub shards_down: u64,
+}
+
+impl RouterStats {
+    /// Requests accounted for by a terminal outcome. The router-level
+    /// invariant matches the single-runtime one:
+    /// `accounted() == submitted` whenever no submission is in flight —
+    /// failover never loses or double-counts a request.
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.rejected + self.timed_out + self.faulted
+    }
+}
+
+#[derive(Debug, Default)]
+struct RouterCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    faulted: AtomicU64,
+    failovers: AtomicU64,
+    spills: AtomicU64,
+}
+
+/// One shard endpoint: its address, a checkout/checkin pool of wire
+/// clients, its sticky down flag, and its counters.
+#[derive(Debug)]
+struct Shard {
+    addr: SocketAddr,
+    pool: PoisonFreeMutex<Vec<WireClient>>,
+    down: AtomicBool,
+    counters: ShardCounters,
+}
+
+/// What one shard said about one request — the router's failover
+/// decision input.
+enum ShardOutcome {
+    Reply(Box<Reply>),
+    Typed(ServeError),
+    Transport(String),
+}
+
+/// A consistent-hash router over N wire shard endpoints. See the
+/// [module docs](self) for placement, balance, and failover semantics.
+#[derive(Debug)]
+pub struct ShardRouter {
+    shards: Vec<Shard>,
+    ring: HashRing,
+    config: RouterConfig,
+    counters: RouterCounters,
+    /// Spec → identity memo, mirroring `SimService`'s: the first request
+    /// for a spec generates (or disk-loads) the tensor once to learn its
+    /// content hash; every later request routes without touching tensor
+    /// bytes.
+    ids: PoisonFreeMutex<HashMap<SpecKey, MatrixId>>,
+}
+
+impl ShardRouter {
+    /// Dials every endpoint ([`RouterConfig::connections`] streams each)
+    /// and builds the ring. Construction is strict: a shard that cannot
+    /// be dialed at all is an error, because a fleet that starts degraded
+    /// should fail loudly at deploy time rather than quietly at the first
+    /// unlucky request.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or an empty endpoint list.
+    pub fn connect<A: ToSocketAddrs>(
+        endpoints: &[A],
+        config: RouterConfig,
+    ) -> std::io::Result<ShardRouter> {
+        if endpoints.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a shard router needs at least one endpoint",
+            ));
+        }
+        let connections = config.connections.max(1);
+        let mut shards = Vec::with_capacity(endpoints.len());
+        for endpoint in endpoints {
+            let mut pool = Vec::with_capacity(connections);
+            for _ in 0..connections {
+                pool.push(WireClient::connect(endpoint)?);
+            }
+            let addr = pool[0].addr();
+            shards.push(Shard {
+                addr,
+                pool: PoisonFreeMutex::new(pool),
+                down: AtomicBool::new(false),
+                counters: ShardCounters::default(),
+            });
+        }
+        let ring = HashRing::new(shards.len(), config.vnodes.max(1));
+        Ok(ShardRouter {
+            shards,
+            ring,
+            config,
+            counters: RouterCounters::default(),
+            ids: PoisonFreeMutex::new(HashMap::new()),
+        })
+    }
+
+    /// The ring this router places requests with.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shard addresses, in shard-index order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.shards.iter().map(|s| s.addr).collect()
+    }
+
+    /// The primary shard for `work`'s matrix identity (ignoring down
+    /// flags) — where the request goes when its shard is healthy.
+    pub fn primary(&self, work: &Work) -> usize {
+        self.ring.assign(&self.identify(work))
+    }
+
+    /// Serves one request with failover. The outcome is terminal: a
+    /// reply, or the typed error of the last shard consulted
+    /// ([`ServeError::Shutdown`] when every shard is down).
+    ///
+    /// # Errors
+    ///
+    /// The typed [`ServeError`] for this request. Transport failures are
+    /// absorbed into failover; only when no live shard remains do they
+    /// surface, as `Shutdown`.
+    pub fn submit(&self, work: &Work) -> Result<Reply, ServeError> {
+        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        let outcome = self.route(work);
+        match &outcome {
+            Ok(_) => &self.counters.completed,
+            Err(ServeError::Timeout { .. }) => &self.counters.timed_out,
+            Err(ServeError::Faulted { .. }) => &self.counters.faulted,
+            Err(_) => &self.counters.rejected,
+        }
+        .fetch_add(1, Ordering::SeqCst);
+        outcome
+    }
+
+    /// Serves a whole batch across the fleet: requests group by primary
+    /// shard, each group splits over its shard's connection pool in LPT
+    /// bins priced by the same cost formula
+    /// [`SimService::submit_batch`](crate::SimService::submit_batch)
+    /// uses, every (shard, connection) bin runs on its own thread, and
+    /// outcomes reassemble in request order — so the reply sequence is
+    /// bit-identical to a single process serving the same batch.
+    pub fn submit_batch(&self, works: &[Work]) -> Vec<Result<Reply, ServeError>> {
+        let primaries: Vec<usize> = works.iter().map(|w| self.primary(w)).collect();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &p) in primaries.iter().enumerate() {
+            groups[p].push(i);
+        }
+        let mut slots: Vec<Option<Result<Reply, ServeError>>> = Vec::new();
+        slots.resize_with(works.len(), || None);
+        let outcomes = PoisonFreeMutex::new(slots);
+        std::thread::scope(|scope| {
+            for group in &groups {
+                if group.is_empty() {
+                    continue;
+                }
+                let costs: Vec<u128> = group
+                    .iter()
+                    .map(|&i| match &works[i] {
+                        Work::Sim(r) => request_cost(&r.workload, r.variant),
+                        // A functional request executes the dataflow, not
+                        // just its analytics — weight it like a cold
+                        // overbooked planning pass on top of its size.
+                        Work::Functional(r) => request_cost(&r.workload, r.variant) * 4,
+                    })
+                    .collect();
+                let bins = self.config.connections.max(1).min(group.len());
+                for bin in balanced_partition(&costs, bins) {
+                    let group = group.as_slice();
+                    let outcomes = &outcomes;
+                    scope.spawn(move || {
+                        for local in bin {
+                            let i = group[local];
+                            let outcome = self.submit(&works[i]);
+                            outcomes.lock()[i] = Some(outcome);
+                        }
+                    });
+                }
+            }
+        });
+        let results: Vec<Result<Reply, ServeError>> = outcomes
+            .lock()
+            .drain(..)
+            .map(|slot| slot.expect("every batch index is owned by exactly one bin"))
+            .collect();
+        results
+    }
+
+    /// Walks the failover order for `work`: primary first, then clockwise
+    /// ring successors, skipping shards already marked down.
+    fn route(&self, work: &Work) -> Result<Reply, ServeError> {
+        let id = self.identify(work);
+        let mut last_refusal: Option<ServeError> = None;
+        for shard in self.ring.candidates(&id) {
+            if self.shards[shard].down.load(Ordering::SeqCst) {
+                continue;
+            }
+            match self.call_shard(shard, work) {
+                ShardOutcome::Reply(reply) => return Ok(*reply),
+                ShardOutcome::Typed(e) if e.retryable() => {
+                    // Busy, not gone: spill clockwise without condemning
+                    // the shard.
+                    self.counters.spills.fetch_add(1, Ordering::SeqCst);
+                    last_refusal = Some(e);
+                }
+                ShardOutcome::Typed(ServeError::Shutdown) => {
+                    self.mark_down(shard);
+                    self.counters.failovers.fetch_add(1, Ordering::SeqCst);
+                    last_refusal = Some(ServeError::Shutdown);
+                }
+                // Deterministic outcomes: every shard computes the same
+                // answer for the same request, so moving on would only
+                // repeat it.
+                ShardOutcome::Typed(e) => return Err(e),
+                ShardOutcome::Transport(m) => {
+                    eprintln!(
+                        "router: shard {shard} ({}) lost: {m} — failing over",
+                        self.shards[shard].addr
+                    );
+                    self.mark_down(shard);
+                    self.counters.failovers.fetch_add(1, Ordering::SeqCst);
+                    last_refusal = Some(ServeError::Shutdown);
+                }
+            }
+        }
+        Err(last_refusal.unwrap_or(ServeError::Shutdown))
+    }
+
+    /// One request against one shard, through a checked-out pool client.
+    /// A client that saw a transport or protocol failure is dropped, not
+    /// returned — its stream state is unknown and the pool re-dials on
+    /// demand.
+    fn call_shard(&self, shard: usize, work: &Work) -> ShardOutcome {
+        let s = &self.shards[shard];
+        s.counters.calls.fetch_add(1, Ordering::SeqCst);
+        let mut client = match self.checkout(shard) {
+            Ok(c) => c,
+            Err(e) => {
+                s.counters.transport_errors.fetch_add(1, Ordering::SeqCst);
+                return ShardOutcome::Transport(e.to_string());
+            }
+        };
+        let before = client.reconnects();
+        let result = client.call_with_retry(work, &self.config.retry);
+        s.counters
+            .reconnects
+            .fetch_add(client.reconnects() - before, Ordering::SeqCst);
+        match result {
+            Ok(outcome) => {
+                s.pool.lock().push(client);
+                match outcome {
+                    Ok(reply) => {
+                        s.counters.replies.fetch_add(1, Ordering::SeqCst);
+                        ShardOutcome::Reply(Box::new(reply))
+                    }
+                    Err(e) => {
+                        s.counters.typed_errors.fetch_add(1, Ordering::SeqCst);
+                        ShardOutcome::Typed(e)
+                    }
+                }
+            }
+            Err(WireError::Io(m)) => {
+                s.counters.transport_errors.fetch_add(1, Ordering::SeqCst);
+                ShardOutcome::Transport(m)
+            }
+            Err(WireError::Malformed(m)) => {
+                // A codec disagreement is deterministic — surface it as a
+                // fault instead of hammering other shards with it.
+                s.counters.typed_errors.fetch_add(1, Ordering::SeqCst);
+                ShardOutcome::Typed(ServeError::Faulted {
+                    panic: false,
+                    message: format!("wire protocol error: {m}"),
+                })
+            }
+        }
+    }
+
+    /// Pops a pooled client for `shard`, dialing a fresh stream when the
+    /// pool is momentarily empty (every client checked out, or dropped
+    /// after failures).
+    fn checkout(&self, shard: usize) -> std::io::Result<WireClient> {
+        if let Some(client) = self.shards[shard].pool.lock().pop() {
+            return Ok(client);
+        }
+        WireClient::connect(self.shards[shard].addr)
+    }
+
+    fn mark_down(&self, shard: usize) {
+        self.shards[shard].down.store(true, Ordering::SeqCst);
+    }
+
+    /// Shards currently marked down (sticky; index order).
+    pub fn down_shards(&self) -> Vec<bool> {
+        self.shards
+            .iter()
+            .map(|s| s.down.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Snapshot of the fleet ledger.
+    pub fn stats(&self) -> RouterStats {
+        let c = &self.counters;
+        RouterStats {
+            submitted: c.submitted.load(Ordering::SeqCst),
+            completed: c.completed.load(Ordering::SeqCst),
+            rejected: c.rejected.load(Ordering::SeqCst),
+            timed_out: c.timed_out.load(Ordering::SeqCst),
+            faulted: c.faulted.load(Ordering::SeqCst),
+            failovers: c.failovers.load(Ordering::SeqCst),
+            spills: c.spills.load(Ordering::SeqCst),
+            reconnects: self
+                .shards
+                .iter()
+                .map(|s| s.counters.reconnects.load(Ordering::SeqCst))
+                .sum(),
+            shards_down: self
+                .shards
+                .iter()
+                .filter(|s| s.down.load(Ordering::SeqCst))
+                .count() as u64,
+        }
+    }
+
+    /// Per-shard counter snapshots, in shard-index order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                calls: s.counters.calls.load(Ordering::SeqCst),
+                replies: s.counters.replies.load(Ordering::SeqCst),
+                typed_errors: s.counters.typed_errors.load(Ordering::SeqCst),
+                transport_errors: s.counters.transport_errors.load(Ordering::SeqCst),
+                reconnects: s.counters.reconnects.load(Ordering::SeqCst),
+                down: s.down.load(Ordering::SeqCst),
+            })
+            .collect()
+    }
+
+    /// Resolves `work`'s routing identity, generating the tensor only on
+    /// first sight of its spec (see the `ids` field).
+    fn identify(&self, work: &Work) -> MatrixId {
+        let wl = work.workload();
+        let spec = SpecKey::of(wl);
+        if let Some(id) = self.ids.lock().get(&spec) {
+            return *id;
+        }
+        let tensor = tailors_workloads::generate_cached(wl);
+        let id = MatrixId::of(&tensor);
+        self.ids.lock().insert(spec, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u64) -> Vec<MatrixId> {
+        (0..n)
+            .map(|i| MatrixId {
+                hash: fnv1a(FNV_OFFSET, &i.to_le_bytes()),
+                nrows: 64 + (i as usize % 7),
+                ncols: 64,
+                nnz: 100 + i as usize,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_assignment_is_deterministic_and_covers_all_shards() {
+        let a = HashRing::new(5, 64);
+        let b = HashRing::new(5, 64);
+        let mut hit = [false; 5];
+        for id in ids(500) {
+            let s = a.assign(&id);
+            assert_eq!(s, b.assign(&id));
+            assert!(s < 5);
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "500 keys must touch all 5 shards");
+    }
+
+    #[test]
+    fn excluding_a_shard_moves_only_its_keys() {
+        let ring = HashRing::new(4, 64);
+        let mut down = [false; 4];
+        down[2] = true;
+        for id in ids(400) {
+            let primary = ring.assign(&id);
+            let fallback = ring.assign_excluding(&id, &down).unwrap();
+            if primary != 2 {
+                assert_eq!(fallback, primary, "live shards must keep their keys");
+            } else {
+                assert_ne!(fallback, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_enumerate_every_shard_once_starting_at_primary() {
+        let ring = HashRing::new(6, 32);
+        for id in ids(50) {
+            let order: Vec<usize> = ring.candidates(&id).collect();
+            assert_eq!(order[0], ring.assign(&id));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn all_shards_down_yields_no_assignment() {
+        let ring = HashRing::new(3, 8);
+        let id = ids(1)[0];
+        assert_eq!(ring.assign_excluding(&id, &[true, true, true]), None);
+    }
+}

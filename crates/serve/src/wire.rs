@@ -1434,16 +1434,64 @@ impl WireTcpServer {
     /// between requests (their socket reads are timed), so an idle
     /// client holding its connection open cannot stall this — it simply
     /// observes EOF on its next call.
-    pub fn stop(&mut self) {
+    ///
+    /// The accept loop blocks in `incoming()`, so stopping pokes it awake
+    /// with a throwaway connection — to the **loopback** interface at the
+    /// bound port: a server bound to a wildcard address (`0.0.0.0` /
+    /// `[::]`) is not connectable *at* that address, and dialing it would
+    /// leave the accept loop asleep until the next real client arrived.
+    /// A failed wake is reported (and logged) instead of hanging: the
+    /// accept thread is left to notice the flag on its next connection
+    /// rather than joined.
+    pub fn stop(&mut self) -> WireStopReport {
         if self.stop.swap(true, Ordering::SeqCst) {
-            return;
+            return WireStopReport {
+                woke: self.accept_thread.is_none(),
+            };
         }
-        // The accept loop blocks in `incoming()`; poke it awake.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
+        let woke = TcpStream::connect_timeout(&self.wake_addr(), STOP_WAKE_TIMEOUT).is_ok();
+        if woke {
+            if let Some(h) = self.accept_thread.take() {
+                let _ = h.join();
+            }
+        } else {
+            // Surface the failure instead of blocking in `join` until the
+            // next client happens to connect; the detached accept thread
+            // exits on the stop flag the moment one does.
+            eprintln!(
+                "wire: stop() could not wake the accept loop at {} — \
+                 it will exit on the next incoming connection",
+                self.wake_addr()
+            );
         }
+        WireStopReport { woke }
     }
+
+    /// The address the stop wake dials: the bound port on the concrete
+    /// bound interface, or the same-family loopback when the server is
+    /// bound to a wildcard address.
+    fn wake_addr(&self) -> SocketAddr {
+        use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+        let ip = match self.addr.ip() {
+            IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            concrete => concrete,
+        };
+        SocketAddr::new(ip, self.addr.port())
+    }
+}
+
+/// How long [`WireTcpServer::stop`] gives its wake connection before
+/// reporting the accept loop unwakeable.
+const STOP_WAKE_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// What [`WireTcpServer::stop`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStopReport {
+    /// Whether the accept loop was woken (and joined). `false` means the
+    /// wake connection failed; the accept thread was left running and
+    /// exits on the next incoming connection.
+    pub woke: bool,
 }
 
 impl Drop for WireTcpServer {
@@ -1460,11 +1508,21 @@ impl Drop for WireTcpServer {
 /// matching reply. The double-layered result separates transport
 /// problems ([`WireError`]) from the server's typed request outcomes
 /// ([`ServeError`]).
+///
+/// The client remembers the address it connected to, so a broken
+/// transport is recoverable: [`WireClient::reconnect`] re-establishes the
+/// stream in place, and [`WireClient::call_with_retry`] does so
+/// automatically before retrying after an I/O failure (a server restart
+/// between calls is survivable without rebuilding the client).
 #[derive(Debug)]
 pub struct WireClient {
+    /// The peer address the stream was established to — the reconnect
+    /// target after a transport failure.
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    reconnects: u64,
     // Per-session codec buffers, reused across calls so steady-state
     // requests and replies run on retained capacity.
     line: String,
@@ -1478,19 +1536,57 @@ impl WireClient {
     ///
     /// Connection failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<WireClient> {
-        let writer = TcpStream::connect(addr)?;
-        // Request/reply over one socket is the worst case for Nagle +
-        // delayed-ACK (~40 ms stalls per exchange); every message is a
-        // complete line, so there is nothing to coalesce anyway.
-        writer.set_nodelay(true)?;
+        let (writer, addr) = Self::open(addr)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(WireClient {
+            addr,
             reader,
             writer,
             next_id: 1,
+            reconnects: 0,
             line: String::new(),
             reply_line: String::new(),
         })
+    }
+
+    fn open<A: ToSocketAddrs>(addr: A) -> std::io::Result<(TcpStream, SocketAddr)> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/reply over one socket is the worst case for Nagle +
+        // delayed-ACK (~40 ms stalls per exchange); every message is a
+        // complete line, so there is nothing to coalesce anyway.
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        Ok((stream, peer))
+    }
+
+    /// The peer address this client talks (and reconnects) to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Reconnections performed so far (manual or via
+    /// [`WireClient::call_with_retry`]).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Drops the current stream and establishes a fresh one to the same
+    /// address. Any half-exchanged request on the old stream is abandoned
+    /// — the protocol is strictly one reply per request, so a fresh
+    /// stream starts from a clean slate (ids need not restart; the server
+    /// echoes whatever id it reads).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures; the client keeps the (broken) old stream in
+    /// that case so a later attempt can try again.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let (writer, addr) = Self::open(self.addr)?;
+        self.reader = BufReader::new(writer.try_clone()?);
+        self.writer = writer;
+        self.addr = addr;
+        self.reconnects += 1;
+        Ok(())
     }
 
     /// Sends `work` and blocks for its outcome.
@@ -1534,11 +1630,21 @@ impl WireClient {
     /// [`WireClient::call`] with client-side capped-exponential-backoff
     /// retries on transient ([`ServeError::retryable`]) rejections — the
     /// wire mirror of
-    /// [`ServiceRuntime::submit_with_retry`](crate::runtime::ServiceRuntime::submit_with_retry).
+    /// [`ServiceRuntime::submit_with_retry`](crate::runtime::ServiceRuntime::submit_with_retry)
+    /// — and on transport I/O failures, which **reconnect first**: a
+    /// retry on the same dead `TcpStream` can only fail again, so each
+    /// I/O failure tears the stream down and dials `self.addr` afresh
+    /// before the next attempt (a server restart between calls is
+    /// absorbed here). Requests are pure and idempotent, so resending
+    /// after an ambiguous failure (request written, connection lost
+    /// before the reply) is safe. Protocol-level `Malformed` replies are
+    /// never retried — a deterministic codec disagreement would just
+    /// repeat.
     ///
     /// # Errors
     ///
-    /// As [`WireClient::call`]; the inner error is the final attempt's.
+    /// As [`WireClient::call`]; the outer/inner error is the final
+    /// attempt's.
     pub fn call_with_retry(
         &mut self,
         work: &Work,
@@ -1546,13 +1652,27 @@ impl WireClient {
     ) -> Result<Result<Reply, ServeError>, WireError> {
         let mut retry = 0u32;
         loop {
-            let outcome = self.call(work)?;
-            match &outcome {
-                Err(e) if e.retryable() && retry + 1 < policy.max_attempts.max(1) => {
+            let attempts_left = retry + 1 < policy.max_attempts.max(1);
+            match self.call(work) {
+                Err(WireError::Io(e)) if attempts_left => {
                     std::thread::sleep(policy.backoff(retry));
                     retry += 1;
+                    // Reconnect failure is not final either — the server
+                    // may still be coming back up; later attempts redial.
+                    if let Err(re) = self.reconnect() {
+                        if retry + 1 >= policy.max_attempts.max(1) {
+                            return Err(WireError::Io(format!("{e}; reconnect failed: {re}")));
+                        }
+                    }
                 }
-                _ => return Ok(outcome),
+                Err(e) => return Err(e),
+                Ok(outcome) => match &outcome {
+                    Err(e) if e.retryable() && attempts_left => {
+                        std::thread::sleep(policy.backoff(retry));
+                        retry += 1;
+                    }
+                    _ => return Ok(outcome),
+                },
             }
         }
     }

@@ -1,0 +1,117 @@
+//! Transport recovery: a server restart between calls must be
+//! survivable by an existing `WireClient`. The regression this pins: a
+//! client that retried on the same dead `TcpStream` could only fail
+//! again, so `call_with_retry` must tear the stream down and redial
+//! before its next attempt.
+
+use std::sync::Arc;
+
+use tailors_serve::wire::WireTcpServer;
+use tailors_serve::{
+    RetryPolicy, RuntimeConfig, ServeError, ServiceRuntime, SimRequest, WireClient, WireError, Work,
+};
+use tailors_sim::Variant;
+
+fn request() -> SimRequest {
+    SimRequest::suite("email-Enron", 1.0 / 512.0, Variant::ExTensorP).expect("suite workload")
+}
+
+fn runtime() -> Arc<ServiceRuntime> {
+    Arc::new(ServiceRuntime::new(RuntimeConfig {
+        workers: 2,
+        ..RuntimeConfig::default()
+    }))
+}
+
+#[test]
+fn call_with_retry_survives_a_server_restart_on_the_same_port() {
+    let req = request();
+    let work = Work::Sim(req.clone());
+
+    let first_runtime = runtime();
+    let mut server =
+        WireTcpServer::spawn(Arc::clone(&first_runtime), "127.0.0.1:0").expect("bind server");
+    let addr = server.addr();
+    let mut client = WireClient::connect(addr).expect("connect");
+
+    let first = client
+        .call(&work)
+        .expect("wire protocol")
+        .expect("request served");
+
+    // Take the server down completely: stop() joins the accept loop and
+    // every session (their sockets close), shutdown drains the workers,
+    // and dropping the pieces frees the port.
+    let report = server.stop();
+    assert!(report.woke, "loopback wake must reach a live accept loop");
+    first_runtime.shutdown();
+    drop(server);
+
+    // A plain call on the old stream is a transport error — and leaves
+    // the client still broken (no hidden reconnect outside the retry
+    // path).
+    let err = client.call(&work).expect_err("dead stream must error");
+    assert!(matches!(err, WireError::Io(_)), "got {err:?}");
+    assert_eq!(client.reconnects(), 0);
+
+    // Restart on the very same port (std listeners set SO_REUSEADDR, so
+    // the rebind is immediate).
+    let second_runtime = runtime();
+    let mut server2 = WireTcpServer::spawn(Arc::clone(&second_runtime), &addr.to_string())
+        .expect("rebind same port");
+    assert_eq!(server2.addr(), addr);
+
+    // The regression: the retrying call must reconnect before retrying,
+    // and the served payload is bit-identical to the pre-restart one
+    // (same request, deterministic service).
+    let second = client
+        .call_with_retry(&work, &RetryPolicy::default())
+        .expect("transport recovered")
+        .expect("request served");
+    assert_eq!(client.reconnects(), 1, "exactly one redial");
+    let (a, b) = (
+        first.into_sim().expect("sim reply"),
+        second.into_sim().expect("sim reply"),
+    );
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.metrics.cycles.to_bits(), b.metrics.cycles.to_bits());
+
+    // The recovered stream is an ordinary one: plain calls work again.
+    let third = client.call(&work).expect("wire protocol");
+    assert!(third.is_ok());
+    assert_eq!(client.reconnects(), 1);
+
+    server2.stop();
+    let report = second_runtime.shutdown();
+    assert_eq!(report.unserved, 0);
+}
+
+#[test]
+fn typed_errors_still_pass_through_untouched() {
+    // Reconnect handling must not swallow the server's typed outcomes:
+    // a structurally bad request is a `BadRequest`, not a transport
+    // problem, and costs no reconnects.
+    let rt = runtime();
+    let mut server = WireTcpServer::spawn(Arc::clone(&rt), "127.0.0.1:0").expect("bind server");
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    let mut bad = request();
+    bad.workload.nrows += 1; // non-square: rejected before queueing
+    let outcome = client
+        .call_with_retry(&Work::Sim(bad), &RetryPolicy::default())
+        .expect("wire protocol");
+    assert!(matches!(outcome, Err(ServeError::BadRequest(_))));
+    assert_eq!(client.reconnects(), 0);
+    server.stop();
+    rt.shutdown();
+}
+
+#[test]
+fn stop_reports_a_successful_wake_and_stays_idempotent() {
+    let rt = runtime();
+    let mut server = WireTcpServer::spawn(Arc::clone(&rt), "127.0.0.1:0").expect("bind server");
+    assert!(server.stop().woke, "first stop wakes and joins");
+    // Idempotent: the accept thread is already joined, so a second stop
+    // reports the loop gone without dialing anything.
+    assert!(server.stop().woke);
+    rt.shutdown();
+}
