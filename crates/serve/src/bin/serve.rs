@@ -7,7 +7,8 @@
 //! [scale] [--sweeps N] [--threads N] [--mem-budget SPEC] [--grid MODE]
 //! [--auto-plan] [--calibrate] [--no-simd] [--verify] [--smoke-functional]
 //! [--wire ADDR | --wire-stdio | --wire-smoke]
-//! [--router N | --shards ADDR,ADDR,... | --router-smoke]`
+//! [--router N | --shards ADDR,ADDR,... | --router-smoke]
+//! [--replicas R] [--probe-ms MS]`
 //!
 //! `--no-simd` pins `TAILORS_SIMD=off` for the process: every fiber
 //! intersection takes the portable scalar superblock path (results are
@@ -45,12 +46,24 @@
 //!   hot sweep is bit-identical to the first.
 //! * `--shards ADDR,ADDR,...` — the same sweeps against an existing
 //!   fleet of wire servers (no children spawned).
-//! * `--router-smoke` — self-contained CI round trip, two legs: a
+//! * `--router-smoke` — self-contained CI round trip, four legs: a
 //!   3-shard suite batch proven bit-identical to an in-process
-//!   baseline, then a shard killed mid-stream with failover proven to
-//!   complete and the fleet accounting ledger
+//!   baseline; a shard killed mid-stream with failover proven to
+//!   complete; the victim restarted on its original port and proven
+//!   re-admitted by health probes (with its keys warm-replayed) before
+//!   serving again; and a fourth shard live-joined, driven, then
+//!   retired again — with the fleet accounting ledger
 //!   (`completed + rejected + timed_out + faulted == submitted`)
-//!   proven intact.
+//!   proven intact across all four.
+//!
+//! `--replicas R` switches the router modes to R-way replicated
+//! placement ([`Placement::Replicated`]): each key's first R live ring
+//! candidates are designated owners, so a kill costs a zero-backoff hop
+//! to an already-warm replica instead of a discovery timeout (the smoke
+//! asserts `timed_out == 0` across the kill leg under `--replicas 2`).
+//! `--probe-ms MS` arms the background health prober at that cadence;
+//! without it the smoke exercises the synchronous
+//! [`ShardRouter::probe_now`] path instead.
 //!
 //! The batch is the full 22-workload suite × the three variants at
 //! `scale` (default 1.0), submitted through
@@ -75,8 +88,8 @@ use std::time::Instant;
 
 use tailors_serve::wire::{serve_lines, WireClient, WireTcpServer};
 use tailors_serve::{
-    FaultPlan, FunctionalRequest, Reply, RouterConfig, RuntimeConfig, ServeConfig, ServeError,
-    ServiceRuntime, ShardRouter, SimRequest, SimService, Work,
+    FaultPlan, FunctionalRequest, Placement, Reply, RouterConfig, RuntimeConfig, ServeConfig,
+    ServeError, ServiceRuntime, ShardRouter, SimRequest, SimService, Work,
 };
 use tailors_sim::functional::reference_run;
 use tailors_sim::{
@@ -102,6 +115,8 @@ fn main() {
     let mut router: Option<usize> = None;
     let mut shard_list: Option<String> = None;
     let mut router_smoke = false;
+    let mut replicas = 1usize;
+    let mut probe_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -143,6 +158,18 @@ fn main() {
             }
             "--shards" => shard_list = Some(next("--shards")),
             "--router-smoke" => router_smoke = true,
+            "--replicas" => {
+                replicas = next("--replicas")
+                    .parse()
+                    .expect("--replicas: positive replica count")
+            }
+            "--probe-ms" => {
+                probe_ms = Some(
+                    next("--probe-ms")
+                        .parse()
+                        .expect("--probe-ms: probe cadence in milliseconds"),
+                )
+            }
             other if !other.starts_with('-') => {
                 scale = other.parse().expect("scale: a number in (0, 1]");
                 assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
@@ -178,8 +205,18 @@ fn main() {
         run_wire_smoke(scale, threads);
         return;
     }
+    assert!(replicas > 0, "--replicas must be positive");
+    let router_config = RouterConfig {
+        placement: if replicas > 1 {
+            Placement::Replicated(replicas)
+        } else {
+            Placement::Primary
+        },
+        probe_interval: probe_ms.map(std::time::Duration::from_millis),
+        ..RouterConfig::default()
+    };
     if router_smoke {
-        run_router_smoke(scale, threads);
+        run_router_smoke(scale, threads, router_config);
         return;
     }
     if let Some(list) = shard_list {
@@ -189,14 +226,14 @@ fn main() {
             .filter(|s| !s.is_empty())
             .map(str::to_string)
             .collect();
-        run_router_sweeps(&endpoints, scale, threads, sweeps);
+        run_router_sweeps(&endpoints, scale, threads, sweeps, router_config);
         return;
     }
     if let Some(n) = router {
         assert!(n > 0, "--router needs at least one shard");
         let fleet = spawn_shard_fleet(n, threads);
         let endpoints: Vec<String> = fleet.iter().map(|s| s.addr.clone()).collect();
-        run_router_sweeps(&endpoints, scale, threads, sweeps);
+        run_router_sweeps(&endpoints, scale, threads, sweeps, router_config);
         for shard in fleet {
             shard.stop();
         }
@@ -665,49 +702,54 @@ impl ChildShard {
     }
 }
 
-/// Spawns `n` shard processes of this same binary and waits for each to
-/// report its bound (ephemeral) address. Shard stdout is drained on a
-/// thread so a chatty shard can never block on a full pipe.
-fn spawn_shard_fleet(n: usize, threads: usize) -> Vec<ChildShard> {
+/// Spawns one shard process of this same binary at `bind` (which may be
+/// `127.0.0.1:0` for an ephemeral port, or a concrete address when
+/// restarting a crashed shard on its original port) and waits for it to
+/// report its bound address. Shard stdout is drained on a thread so a
+/// chatty shard can never block on a full pipe.
+fn spawn_shard(i: usize, bind: &str, threads: usize) -> ChildShard {
     let exe = std::env::current_exe().expect("current executable path");
+    let mut child = std::process::Command::new(&exe)
+        .arg("--wire")
+        .arg(bind)
+        .arg("--threads")
+        .arg(threads.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn shard {i}: {e}"));
+    let stdout = child.stdout.take().expect("piped shard stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        let bytes = reader
+            .read_line(&mut line)
+            .unwrap_or_else(|e| panic!("shard {i} stdout: {e}"));
+        if bytes == 0 {
+            panic!("shard {i} exited before binding its wire port");
+        }
+        if let Some(bound) = line.trim().strip_prefix("wire: listening on ") {
+            break bound.to_string();
+        }
+    };
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            match reader.read_line(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    });
+    println!("router: shard {i} up at {addr}");
+    ChildShard { child, addr }
+}
+
+/// Spawns `n` shard processes on ephemeral ports.
+fn spawn_shard_fleet(n: usize, threads: usize) -> Vec<ChildShard> {
     (0..n)
-        .map(|i| {
-            let mut child = std::process::Command::new(&exe)
-                .arg("--wire")
-                .arg("127.0.0.1:0")
-                .arg("--threads")
-                .arg(threads.to_string())
-                .stdin(std::process::Stdio::piped())
-                .stdout(std::process::Stdio::piped())
-                .spawn()
-                .unwrap_or_else(|e| panic!("spawn shard {i}: {e}"));
-            let stdout = child.stdout.take().expect("piped shard stdout");
-            let mut reader = std::io::BufReader::new(stdout);
-            let addr = loop {
-                let mut line = String::new();
-                let bytes = reader
-                    .read_line(&mut line)
-                    .unwrap_or_else(|e| panic!("shard {i} stdout: {e}"));
-                if bytes == 0 {
-                    panic!("shard {i} exited before binding its wire port");
-                }
-                if let Some(bound) = line.trim().strip_prefix("wire: listening on ") {
-                    break bound.to_string();
-                }
-            };
-            std::thread::spawn(move || {
-                let mut sink = String::new();
-                loop {
-                    sink.clear();
-                    match reader.read_line(&mut sink) {
-                        Ok(0) | Err(_) => break,
-                        Ok(_) => {}
-                    }
-                }
-            });
-            println!("router: shard {i} up at {addr}");
-            ChildShard { child, addr }
-        })
+        .map(|i| spawn_shard(i, "127.0.0.1:0", threads))
         .collect()
 }
 
@@ -732,7 +774,13 @@ fn router_batch(scale: f64) -> Vec<SimRequest> {
 /// `--router N` / `--shards ...`: suite sweeps through the ring, hot
 /// sweeps proven bit-identical to the first, fleet ledger proven
 /// balanced.
-fn run_router_sweeps(endpoints: &[String], scale: f64, threads: usize, sweeps: usize) {
+fn run_router_sweeps(
+    endpoints: &[String],
+    scale: f64,
+    threads: usize,
+    sweeps: usize,
+    config: RouterConfig,
+) {
     let batch = router_batch(scale);
     let works: Vec<Work> = batch.iter().cloned().map(Work::Sim).collect();
     println!(
@@ -740,8 +788,7 @@ fn run_router_sweeps(endpoints: &[String], scale: f64, threads: usize, sweeps: u
         works.len(),
         endpoints.len()
     );
-    let router =
-        ShardRouter::connect(endpoints, RouterConfig::default()).expect("router dials every shard");
+    let router = ShardRouter::connect(endpoints, config).expect("router dials every shard");
     let mut first: Option<Vec<tailors_serve::SimResponse>> = None;
     for sweep in 1..=sweeps {
         let t = Instant::now();
@@ -776,7 +823,7 @@ fn report_router(router: &ShardRouter) {
     let stats = router.stats();
     println!(
         "router: {} submitted = {} completed + {} faulted + {} rejected + {} timed out \
-         ({} failovers, {} spills, {} reconnects, {} shards down)",
+         ({} failovers, {} spills, {} reconnects, {} recoveries, {} warmups, {} shards down)",
         stats.submitted,
         stats.completed,
         stats.faulted,
@@ -785,18 +832,22 @@ fn report_router(router: &ShardRouter) {
         stats.failovers,
         stats.spills,
         stats.reconnects,
+        stats.recoveries,
+        stats.warmups,
         stats.shards_down,
     );
     for (i, s) in router.shard_stats().iter().enumerate() {
         println!(
             "router: shard {i}: {} calls, {} replies, {} typed errors, {} transport errors, \
-             {} reconnects{}",
+             {} reconnects, {} warmups{}{}",
             s.calls,
             s.replies,
             s.typed_errors,
             s.transport_errors,
             s.reconnects,
+            s.warmups,
             if s.down { " [down]" } else { "" },
+            if s.departed { " [departed]" } else { "" },
         );
     }
     assert_eq!(
@@ -806,26 +857,35 @@ fn report_router(router: &ShardRouter) {
     );
 }
 
-/// `--router-smoke`: the two-leg CI round trip. Leg one routes the suite
-/// batch through three freshly spawned shards and proves every completed
-/// reply bit-identical to an in-process baseline. Leg two kills one
-/// shard mid-stream (a hard process kill, between the two halves of the
-/// batch) and proves failover completes — the dead shard's keys re-home,
-/// payloads stay bit-identical, and the fleet ledger stays balanced.
-fn run_router_smoke(scale: f64, threads: usize) {
+/// `--router-smoke`: the four-leg CI round trip. Leg one routes the
+/// suite batch through three freshly spawned shards and proves every
+/// completed reply bit-identical to an in-process baseline. Leg two
+/// kills one shard mid-stream (a hard process kill, between the two
+/// halves of the batch) and proves failover completes — the dead shard's
+/// keys re-home, payloads stay bit-identical, and the fleet ledger stays
+/// balanced. Leg three restarts the victim on its original port and
+/// proves health probes re-admit it (warm-replaying its keys) before it
+/// serves its ring slice again. Leg four live-joins a fourth shard,
+/// drives the batch, retires it, and drives again — membership churn
+/// with the ledger intact throughout. Under `--replicas 2` the kill leg
+/// additionally proves `timed_out == 0`: a replica absorbs the victim's
+/// keys with zero discovery cost.
+fn run_router_smoke(scale: f64, threads: usize, config: RouterConfig) {
     let batch = router_batch(scale);
     let works: Vec<Work> = batch.iter().cloned().map(Work::Sim).collect();
+    let replicated = matches!(config.placement, Placement::Replicated(r) if r > 1);
     println!(
-        "router smoke: {} requests over 3 shards at scale {scale}",
-        works.len()
+        "router smoke: {} requests over 3 shards at scale {scale} (placement {:?}, probe {:?})",
+        works.len(),
+        config.placement,
+        config.probe_interval,
     );
     let baseline_service = SimService::new();
     let baseline = baseline_service.submit_batch(&batch, threads.max(1));
 
     let mut fleet = spawn_shard_fleet(3, threads);
     let endpoints: Vec<String> = fleet.iter().map(|s| s.addr.clone()).collect();
-    let router = ShardRouter::connect(&endpoints, RouterConfig::default())
-        .expect("router dials every shard");
+    let router = ShardRouter::connect(&endpoints, config).expect("router dials every shard");
 
     // Leg one: everything healthy — route the whole batch.
     let t = Instant::now();
@@ -869,12 +929,105 @@ fn run_router_smoke(scale: f64, threads: usize) {
         stats.failovers >= 1,
         "losing an owning shard mid-stream must fail over"
     );
+    if replicated {
+        assert_eq!(
+            stats.timed_out, 0,
+            "replicated placement must absorb the kill without a single timeout"
+        );
+        assert_eq!(
+            first_half[3] + second_half[3],
+            0,
+            "no client-visible timeout under replication"
+        );
+    }
+
+    // Leg three: the victim comes back on its original port — a crashed
+    // process restarting — and health probes must re-admit it, replaying
+    // its keys warm, before it serves its ring slice again.
+    println!(
+        "router smoke leg 3: restarting shard {victim} at {}",
+        endpoints[victim]
+    );
+    fleet[victim] = spawn_shard(victim, &endpoints[victim], threads);
+    if config.probe_interval.is_some() {
+        // Bounded poll: the background prober clears the mark on its own.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while router.down_shards()[victim] {
+            assert!(
+                Instant::now() < deadline,
+                "prober failed to re-admit shard {victim} within 10s"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    } else {
+        assert_eq!(router.probe_now(), 1, "the restarted shard must recover");
+    }
+    let stats = router.stats();
+    assert!(stats.recoveries >= 1, "recovery must be counted");
+    assert_eq!(
+        stats.shards_down, 0,
+        "no shard may stay down after recovery"
+    );
+    assert!(
+        stats.warmups >= 1,
+        "recovery must warm-replay the victim's logged keys"
+    );
+    let replies_before = router.shard_stats()[victim].replies;
+    let t = Instant::now();
+    let recovered = drive_router(&router, &works, &baseline);
+    println!(
+        "router smoke leg 3: {:.2?}; {} completed after probe recovery",
+        t.elapsed(),
+        recovered[0],
+    );
+    assert!(recovered[0] > 0, "leg 3 must complete requests");
+    assert!(
+        router.shard_stats()[victim].replies > replies_before,
+        "the recovered shard must serve its ring keys again"
+    );
+
+    // Leg four: live membership. A fourth shard joins (taking its keys
+    // warm), serves a batch, then leaves again — and takes no further
+    // calls once departed.
+    let fourth = spawn_shard(3, "127.0.0.1:0", threads);
+    let joined = router
+        .join(fourth.addr.as_str())
+        .expect("join the fourth shard");
+    let owned = works.iter().filter(|w| router.primary(w) == joined).count();
+    println!(
+        "router smoke leg 4: shard {joined} joined at {} (owns {owned} of {} requests)",
+        fourth.addr,
+        works.len()
+    );
+    let t = Instant::now();
+    let post_join = drive_router(&router, &works, &baseline);
+    assert!(post_join[0] > 0, "leg 4 must complete requests");
+    if owned > 0 {
+        assert!(
+            router.shard_stats()[joined].replies > 0,
+            "the joiner must serve the keys it took over"
+        );
+    }
+    router.leave(joined).expect("retire the fourth shard");
+    let calls_at_leave = router.shard_stats()[joined].calls;
+    let post_leave = drive_router(&router, &works, &baseline);
+    assert!(post_leave[0] > 0, "post-leave batch must complete");
+    assert_eq!(
+        router.shard_stats()[joined].calls,
+        calls_at_leave,
+        "departed shards take no further calls"
+    );
+    println!(
+        "router smoke leg 4: {:.2?}; joined, served, and retired shard {joined} cleanly",
+        t.elapsed()
+    );
+    fourth.stop();
     report_router(&router);
 
     for shard in fleet {
         shard.stop();
     }
-    println!("router smoke: both legs bit-identical to the in-process baseline");
+    println!("router smoke: all four legs bit-identical to the in-process baseline");
     println!("OK");
 }
 

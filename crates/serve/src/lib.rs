@@ -93,8 +93,13 @@ pub use service::{
     CacheHits, FunctionalRequest, FunctionalResponse, MatrixId, ServeConfig, ServeStats,
     SimRequest, SimResponse, SimService,
 };
-pub use shard::{HashRing, RouterConfig, RouterStats, ShardRouter, ShardStats};
-pub use wire::{WireClient, WireError, WireServeReport, WireStopReport, WireTcpServer};
+pub use shard::{
+    HashRing, MembershipError, Placement, PoolError, RouterConfig, RouterStats, ShardRouter,
+    ShardStats,
+};
+pub use wire::{
+    WireClient, WireError, WireRequest, WireServeReport, WireStopReport, WireTcpServer,
+};
 
 #[cfg(test)]
 mod tests {

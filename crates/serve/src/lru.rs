@@ -68,6 +68,22 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         })
     }
 
+    /// Looks up `key` mutably, marking it most recently used on a hit.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.last_use = clock;
+            &mut e.value
+        })
+    }
+
+    /// Visits every resident entry in unspecified order, without
+    /// touching recency (a bookkeeping scan, not an access).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, e)| (k, &e.value))
+    }
+
     /// Inserts (or refreshes) `key`, evicting the least-recently-used
     /// entry if the cache is full. Returns the evicted `(key, value)`
     /// pair, if any.
@@ -141,6 +157,20 @@ mod tests {
         assert_eq!(c.insert("e", 9), Some(("b", 1)));
         assert_eq!(c.insert("f", 9), Some(("c", 2)));
         assert_eq!(c.capacity(), 3);
+    }
+
+    #[test]
+    fn get_mut_refreshes_and_iter_does_not() {
+        let mut c = Lru::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Mutating "a" through get_mut refreshes it, so "b" evicts next.
+        *c.get_mut(&"a").expect("present") = 10;
+        // An iter scan must not perturb recency.
+        let sum: i32 = c.iter().map(|(_, v)| *v).sum();
+        assert_eq!(sum, 12);
+        assert_eq!(c.insert("c", 3), Some(("b", 2)));
+        assert_eq!(c.get(&"a"), Some(&10));
     }
 
     #[test]

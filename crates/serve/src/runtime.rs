@@ -269,6 +269,15 @@ pub struct FaultPlan {
     /// Force an `Overloaded(MailboxFull)` rejection on every `N`-th
     /// submission, as if the mailbox had no free slot.
     pub reject_every: Option<u64>,
+    /// Sever the TCP session after every `N`-th decoded wire request
+    /// (TCP sessions only — stdio has no connection to drop). The
+    /// request is discarded *before* it reaches the runtime, so the
+    /// client observes an EOF mid-call and must reconnect and resend —
+    /// exactly the failure [`WireClient::call_with_retry`] and the
+    /// router's failover path are built to absorb.
+    ///
+    /// [`WireClient::call_with_retry`]: crate::wire::WireClient::call_with_retry
+    pub drop_conn_every: Option<u64>,
 }
 
 impl FaultPlan {
@@ -282,12 +291,16 @@ impl FaultPlan {
 
     /// Whether any fault kind is armed.
     pub fn is_active(&self) -> bool {
-        self.panic_every.is_some() || self.latency_every.is_some() || self.reject_every.is_some()
+        self.panic_every.is_some()
+            || self.latency_every.is_some()
+            || self.reject_every.is_some()
+            || self.drop_conn_every.is_some()
     }
 
     /// Parses a spec like `"panic:7,latency:3,full:5"`. Kinds: `panic`,
-    /// `latency`, `full` (alias `reject`), plus `latency_ms:<ms>` to size
-    /// the injected delay. Entries and their pieces are
+    /// `latency`, `full` (alias `reject`), `drop_conn` (sever the TCP
+    /// session after every N-th wire request), plus `latency_ms:<ms>` to
+    /// size the injected delay. Entries and their pieces are
     /// whitespace-trimmed, so `" panic:7 , latency:3 "` parses the same
     /// as its tight form. An empty spec is [`FaultPlan::none`].
     ///
@@ -334,6 +347,10 @@ impl FaultPlan {
                     claim("full")?;
                     plan.reject_every = (n > 0).then_some(n);
                 }
+                "drop_conn" => {
+                    claim("drop_conn")?;
+                    plan.drop_conn_every = (n > 0).then_some(n);
+                }
                 "latency_ms" => {
                     claim("latency_ms")?;
                     plan.latency_ms = n;
@@ -365,6 +382,7 @@ struct FaultState {
     executed: AtomicU64,
     latencies: AtomicU64,
     submissions: AtomicU64,
+    conn_requests: AtomicU64,
 }
 
 impl FaultState {
@@ -441,6 +459,10 @@ pub struct RuntimeStats {
     pub injected_latency: u64,
     /// Forced mailbox-full rejections fired.
     pub injected_rejects: u64,
+    /// TCP sessions severed by the `drop_conn` fault kind. The dropped
+    /// request never reaches the ledger (the client resends it on a new
+    /// connection), so this is observability, not an outcome row.
+    pub injected_drops: u64,
 }
 
 impl RuntimeStats {
@@ -464,6 +486,7 @@ struct Counters {
     injected_panics: AtomicU64,
     injected_latency: AtomicU64,
     injected_rejects: AtomicU64,
+    injected_drops: AtomicU64,
 }
 
 /// A queued request: the work, its absolute deadline, and the one-shot
@@ -509,6 +532,34 @@ impl RetryPolicy {
             .checked_mul(factor)
             .map_or(self.max_backoff, |d| d.min(self.max_backoff))
     }
+
+    /// [`RetryPolicy::backoff`] with deterministic equal jitter: the
+    /// sleep is drawn from `[backoff/2, backoff]`, positioned by a
+    /// splitmix64 mix of `(seed, retry)`. N clients retrying the same
+    /// recovering shard with distinct seeds (the wire client seeds with
+    /// its request id) spread out instead of stampeding in lockstep,
+    /// while any one `(seed, retry)` pair always sleeps the same amount
+    /// — tests stay reproducible.
+    pub fn backoff_jittered(&self, retry: u32, seed: u64) -> Duration {
+        let full = self.backoff(retry);
+        let nanos = full.as_nanos().min(u64::MAX as u128) as u64;
+        if nanos < 2 {
+            return full;
+        }
+        let mix = splitmix64(seed ^ (u64::from(retry).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        // Equal jitter: keep half the backoff, scatter the other half.
+        let half = nanos / 2;
+        Duration::from_nanos(half + mix % (nanos - half + 1))
+    }
+}
+
+/// SplitMix64 finalizer — a tiny, well-distributed bit mixer (Steele et
+/// al.), used only to position retry jitter; not a security primitive.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// The front door: a [`SimService`] behind a bounded priority mailbox
@@ -603,6 +654,7 @@ impl ServiceRuntime {
             injected_panics: c.injected_panics.load(Ordering::SeqCst),
             injected_latency: c.injected_latency.load(Ordering::SeqCst),
             injected_rejects: c.injected_rejects.load(Ordering::SeqCst),
+            injected_drops: c.injected_drops.load(Ordering::SeqCst),
         }
     }
 
@@ -647,8 +699,46 @@ impl ServiceRuntime {
         work: Work,
         deadline: Option<Duration>,
     ) -> Result<Reply, ServeError> {
+        self.submit_accounted(work, deadline, None)
+    }
+
+    /// Submits warm-up replay work: identical to [`ServiceRuntime::submit`]
+    /// except the request is queued on the **low-priority lane** whatever
+    /// its kind, so cache-warming replay after a shard joins or recovers
+    /// never delays live analytical traffic. Warm work is accounted in
+    /// this runtime's ledger exactly like any other request — the
+    /// *router's* ledger is what excludes it (see `serve::shard`).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceRuntime::submit`].
+    pub fn submit_warm(&self, work: Work) -> Result<Reply, ServeError> {
+        self.submit_accounted(work, self.config.default_deadline, Some(Priority::Low))
+    }
+
+    /// Whether the `drop_conn` fault fires for the wire session's next
+    /// decoded request. Called by the TCP session loop once per decoded
+    /// work request; a `true` return severs the session before the
+    /// request reaches the mailbox (so nothing enters the ledger).
+    pub fn fire_conn_drop(&self) -> bool {
+        let fired = FaultState::fires(
+            &self.faults.conn_requests,
+            self.config.faults.drop_conn_every,
+        );
+        if fired {
+            self.counters.injected_drops.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
+    fn submit_accounted(
+        &self,
+        work: Work,
+        deadline: Option<Duration>,
+        priority: Option<Priority>,
+    ) -> Result<Reply, ServeError> {
         self.counters.submitted.fetch_add(1, Ordering::SeqCst);
-        let outcome = self.submit_inner(work, deadline);
+        let outcome = self.submit_inner(work, deadline, priority);
         match &outcome {
             Ok(_) => self.counters.completed.fetch_add(1, Ordering::SeqCst),
             Err(ServeError::Timeout { .. }) => {
@@ -684,7 +774,12 @@ impl ServiceRuntime {
         }
     }
 
-    fn submit_inner(&self, work: Work, deadline: Option<Duration>) -> Result<Reply, ServeError> {
+    fn submit_inner(
+        &self,
+        work: Work,
+        deadline: Option<Duration>,
+        priority_override: Option<Priority>,
+    ) -> Result<Reply, ServeError> {
         validate(&work)?;
         self.admit(&work)?;
         if FaultState::fires(&self.faults.submissions, self.config.faults.reject_every) {
@@ -703,7 +798,7 @@ impl ServiceRuntime {
             deadline_budget,
             reply: tx,
         };
-        let priority = envelope.work.priority();
+        let priority = priority_override.unwrap_or_else(|| envelope.work.priority());
         self.mailbox
             .try_push(priority, envelope)
             .map_err(|e| match e {
@@ -957,6 +1052,78 @@ mod tests {
             FaultPlan::parse("explode:3"),
             Err(FaultSpecError::UnknownKind("explode".into()))
         );
+    }
+
+    #[test]
+    fn drop_conn_fault_parses_fires_and_counts() {
+        let p = FaultPlan::parse("drop_conn:3").unwrap();
+        assert_eq!(p.drop_conn_every, Some(3));
+        assert!(p.is_active());
+        assert!(FaultPlan::parse("drop_conn:0")
+            .unwrap()
+            .drop_conn_every
+            .is_none());
+        assert_eq!(
+            FaultPlan::parse("drop_conn:3,drop_conn:5"),
+            Err(FaultSpecError::DuplicateKind("drop_conn".into()))
+        );
+        let runtime = ServiceRuntime::new(RuntimeConfig {
+            workers: 1,
+            faults: p,
+            ..RuntimeConfig::default()
+        });
+        // Fires on exactly every 3rd decoded wire request; a drop never
+        // touches the outcome ledger.
+        let fired: Vec<bool> = (0..6).map(|_| runtime.fire_conn_drop()).collect();
+        assert_eq!(fired, [false, false, true, false, false, true]);
+        let stats = runtime.stats();
+        assert_eq!(stats.injected_drops, 2);
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.accounted(), 0);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_bounded_and_spread() {
+        let policy = RetryPolicy::default();
+        for retry in 0..4 {
+            let full = policy.backoff(retry);
+            for seed in [0u64, 1, 7, u64::MAX] {
+                let j = policy.backoff_jittered(retry, seed);
+                assert_eq!(j, policy.backoff_jittered(retry, seed), "reproducible");
+                assert!(
+                    j >= full / 2 && j <= full,
+                    "{j:?} not in [{full:?}/2, {full:?}]"
+                );
+            }
+        }
+        // Distinct seeds must actually de-synchronize (the whole point):
+        // at least two of these four sleeps differ.
+        let sleeps: Vec<Duration> = [0u64, 1, 7, 42]
+            .iter()
+            .map(|&s| policy.backoff_jittered(2, s))
+            .collect();
+        assert!(sleeps.windows(2).any(|w| w[0] != w[1]), "{sleeps:?}");
+    }
+
+    #[test]
+    fn warm_submissions_ride_the_low_lane_and_account_normally() {
+        let runtime = ServiceRuntime::new(RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        });
+        let reply = runtime.submit_warm(sim_work("email-Enron")).expect("warm");
+        assert!(matches!(reply, Reply::Sim(_)));
+        let stats = runtime.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.accounted(), stats.submitted);
+        // Bit parity with the high-lane path: the lane changes queueing
+        // order, never the answer.
+        let hot = runtime.submit(sim_work("email-Enron")).expect("served");
+        match (reply, hot) {
+            (Reply::Sim(a), Reply::Sim(b)) => assert_eq!(a.metrics, b.metrics),
+            _ => panic!("expected sim replies"),
+        }
     }
 
     #[test]

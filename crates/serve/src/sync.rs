@@ -15,7 +15,10 @@
 //! pop) either completes or leaves the structure unchanged — there is no
 //! multi-step invariant a mid-operation unwind could tear.
 
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
 use std::time::Duration;
 
 /// A `std::sync::Mutex` whose `lock` recovers from poisoning instead of
@@ -38,6 +41,37 @@ impl<T> PoisonFreeMutex<T> {
     /// panicked.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A `std::sync::RwLock` whose `read`/`write` recover from poisoning
+/// instead of propagating it, for the same reason as
+/// [`PoisonFreeMutex`]: the router's fleet view is read on every request
+/// and written only by membership operations, and no critical section
+/// runs caller code while holding the lock.
+#[derive(Debug, Default)]
+pub struct PoisonFreeRwLock<T> {
+    inner: RwLock<T>,
+}
+
+impl<T> PoisonFreeRwLock<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> Self {
+        PoisonFreeRwLock {
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared read guard, recovering it if a previous writer
+    /// panicked.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires the exclusive write guard, recovering it if a previous
+    /// writer panicked.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -103,6 +137,20 @@ mod tests {
         assert_eq!(*m.lock(), 7);
         *m.lock() = 8;
         assert_eq!(*m.lock(), 8);
+    }
+
+    #[test]
+    fn rwlock_survives_a_panicking_writer() {
+        let l = Arc::new(PoisonFreeRwLock::new(vec![1u32, 2]));
+        let l2 = Arc::clone(&l);
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            let _guard = l2.write();
+            panic!("writer dies");
+        }));
+        assert!(result.is_err());
+        assert_eq!(*l.read(), vec![1, 2]);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
     }
 
     #[test]

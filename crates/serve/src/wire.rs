@@ -47,7 +47,9 @@ use tailors_sim::{
 use tailors_tensor::CsrMatrix;
 use tailors_workloads::{Workload, WorkloadClass};
 
-use crate::runtime::{OverloadReason, Reply, RetryPolicy, ServeError, ServiceRuntime, Work};
+use crate::runtime::{
+    OverloadReason, Reply, RetryPolicy, RuntimeStats, ServeError, ServiceRuntime, Work,
+};
 use crate::service::{CacheHits, FunctionalRequest, FunctionalResponse, SimRequest, SimResponse};
 
 /// Transport- and protocol-level failures (distinct from [`ServeError`],
@@ -1098,34 +1100,149 @@ pub fn encode_request(id: u64, work: &Work) -> String {
 /// that keeps one buffer per session renders steady-state requests
 /// without allocating the line itself.
 pub fn encode_request_into(id: u64, work: &Work, out: &mut String) {
+    encode_request_flagged_into(id, work, false, out);
+}
+
+/// [`encode_request_into`] with the warm-up flag: `warm == true` adds
+/// `"warm":true` to the envelope, asking the server to queue the request
+/// on its low-priority lane (cache-warming replay must never delay live
+/// traffic).
+pub fn encode_request_flagged_into(id: u64, work: &Work, warm: bool, out: &mut String) {
     let (kind, req) = match work {
         Work::Sim(r) => ("sim", encode_sim_request(r)),
         Work::Functional(r) => ("functional", encode_functional_request(r)),
     };
-    obj(vec![
+    let mut fields = vec![
         ("id", num_u64(id)),
         ("kind", Json::Str(kind.into())),
         ("req", req),
+    ];
+    if warm {
+        fields.push(("warm", Json::Bool(true)));
+    }
+    obj(fields).render_into(out);
+}
+
+/// Encodes a ping request line: `{"id":N,"kind":"ping"}` — no payload.
+/// The server answers from its session loop without queueing anything,
+/// so a ping is safe against a wedged worker pool and never enters the
+/// outcome ledger.
+pub fn encode_ping_into(id: u64, out: &mut String) {
+    obj(vec![
+        ("id", num_u64(id)),
+        ("kind", Json::Str("ping".into())),
     ])
     .render_into(out);
 }
 
-/// Decodes one request line.
+/// Encodes the pong reply to a ping: the envelope carries a snapshot of
+/// the shard runtime's outcome counters, so one probe both proves
+/// liveness and fetches shard stats.
+pub fn encode_pong_into(id: u64, stats: &RuntimeStats, out: &mut String) {
+    obj(vec![
+        ("id", num_u64(id)),
+        (
+            "ok",
+            obj(vec![
+                ("kind", Json::Str("pong".into())),
+                ("stats", encode_runtime_stats(stats)),
+            ]),
+        ),
+    ])
+    .render_into(out);
+}
+
+fn encode_runtime_stats(s: &RuntimeStats) -> Json {
+    obj(vec![
+        ("submitted", num_u64(s.submitted)),
+        ("completed", num_u64(s.completed)),
+        ("rejected", num_u64(s.rejected)),
+        ("timed_out", num_u64(s.timed_out)),
+        ("faulted", num_u64(s.faulted)),
+        ("panics_isolated", num_u64(s.panics_isolated)),
+        ("retries", num_u64(s.retries)),
+        ("injected_panics", num_u64(s.injected_panics)),
+        ("injected_latency", num_u64(s.injected_latency)),
+        ("injected_rejects", num_u64(s.injected_rejects)),
+        ("injected_drops", num_u64(s.injected_drops)),
+    ])
+}
+
+fn decode_runtime_stats(v: &Json) -> Result<RuntimeStats, WireError> {
+    Ok(RuntimeStats {
+        submitted: v.get("submitted")?.u64_()?,
+        completed: v.get("completed")?.u64_()?,
+        rejected: v.get("rejected")?.u64_()?,
+        timed_out: v.get("timed_out")?.u64_()?,
+        faulted: v.get("faulted")?.u64_()?,
+        panics_isolated: v.get("panics_isolated")?.u64_()?,
+        retries: v.get("retries")?.u64_()?,
+        injected_panics: v.get("injected_panics")?.u64_()?,
+        injected_latency: v.get("injected_latency")?.u64_()?,
+        injected_rejects: v.get("injected_rejects")?.u64_()?,
+        injected_drops: v.get("injected_drops")?.u64_()?,
+    })
+}
+
+/// A decoded request envelope: real work (possibly flagged for the
+/// warm-up lane) or a session-level ping.
+///
+/// The size disparity between the variants is deliberate: one value
+/// exists per decoded line and is destructured immediately, so boxing
+/// the work payload would buy nothing except a per-request heap
+/// allocation — the exact cost the zero-alloc regression suite polices.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum WireRequest {
+    /// A sim/functional request to submit to the runtime.
+    Work {
+        /// The decoded work.
+        work: Work,
+        /// Whether the client asked for the low-priority warm-up lane.
+        warm: bool,
+    },
+    /// A liveness probe, answered in the session loop with a stats pong.
+    Ping,
+}
+
+/// Decodes one request line into a [`WireRequest`].
 ///
 /// # Errors
 ///
 /// [`WireError::Malformed`] for anything that is not a well-formed
 /// request; never panics.
-pub fn decode_request(line: &str) -> Result<(u64, Work), WireError> {
+pub fn decode_request_line(line: &str) -> Result<(u64, WireRequest), WireError> {
     let v = Json::parse(line)?;
     let id = v.get("id")?.u64_()?;
+    let kind = v.get("kind")?.str_()?;
+    if kind == "ping" {
+        return Ok((id, WireRequest::Ping));
+    }
     let req = v.get("req")?;
-    let work = match v.get("kind")?.str_()? {
+    let work = match kind {
         "sim" => Work::Sim(decode_sim_request(req)?),
         "functional" => Work::Functional(Box::new(decode_functional_request(req)?)),
         other => return Err(malformed(format!("unknown request kind {other:?}"))),
     };
-    Ok((id, work))
+    let warm = match v.opt("warm") {
+        Some(w) => w.bool_()?,
+        None => false,
+    };
+    Ok((id, WireRequest::Work { work, warm }))
+}
+
+/// Decodes one *work* request line (the pre-ping compatibility surface:
+/// a ping envelope is `Malformed` here, and the warm flag is dropped).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] for anything that is not a well-formed work
+/// request; never panics.
+pub fn decode_request(line: &str) -> Result<(u64, Work), WireError> {
+    match decode_request_line(line)? {
+        (id, WireRequest::Work { work, .. }) => Ok((id, work)),
+        (_, WireRequest::Ping) => Err(malformed("ping envelope where work was expected")),
+    }
 }
 
 /// Encodes one reply line (no trailing newline). `id` is `None` only for
@@ -1225,6 +1342,9 @@ pub struct WireServeReport {
     pub served: u64,
     /// Undecodable lines answered with protocol-level error replies.
     pub protocol_errors: u64,
+    /// Liveness probes answered from the session loop (never submitted,
+    /// never in the runtime ledger).
+    pub pings: u64,
 }
 
 /// Serves line-delimited requests from `reader`, writing one reply per
@@ -1254,10 +1374,19 @@ pub fn serve_lines<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        match decode_request(line.trim_end_matches(['\n', '\r'])) {
-            Ok((id, work)) => {
+        match decode_request_line(line.trim_end_matches(['\n', '\r'])) {
+            Ok((id, WireRequest::Ping)) => {
+                report.pings += 1;
+                encode_pong_into(id, &runtime.stats(), &mut reply);
+            }
+            Ok((id, WireRequest::Work { work, warm })) => {
                 report.served += 1;
-                encode_reply_into(Some(id), &runtime.submit(work), &mut reply);
+                let outcome = if warm {
+                    runtime.submit_warm(work)
+                } else {
+                    runtime.submit(work)
+                };
+                encode_reply_into(Some(id), &outcome, &mut reply);
             }
             Err(e) => {
                 report.protocol_errors += 1;
@@ -1333,10 +1462,28 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        match decode_request(line.trim_end_matches(['\n', '\r'])) {
-            Ok((id, work)) => {
+        match decode_request_line(line.trim_end_matches(['\n', '\r'])) {
+            Ok((id, WireRequest::Ping)) => {
+                report.pings += 1;
+                encode_pong_into(id, &runtime.stats(), &mut reply);
+            }
+            Ok((id, WireRequest::Work { work, warm })) => {
+                // The `drop_conn` fault severs the session *here* — after
+                // the work decoded, before anything reaches the runtime —
+                // so the client sees EOF on an in-flight request and must
+                // reconnect + resend; nothing enters the ledger. Pings
+                // are exempt: a probe must stay answerable under the same
+                // fault plan the failover paths are being exercised with.
+                if runtime.fire_conn_drop() {
+                    return Ok(report);
+                }
                 report.served += 1;
-                encode_reply_into(Some(id), &runtime.submit(work), &mut reply);
+                let outcome = if warm {
+                    runtime.submit_warm(work)
+                } else {
+                    runtime.submit(work)
+                };
+                encode_reply_into(Some(id), &outcome, &mut reply);
             }
             Err(e) => {
                 report.protocol_errors += 1;
@@ -1596,11 +1743,69 @@ impl WireClient {
     /// Outer: transport/protocol failure. Inner: the server's typed
     /// [`ServeError`] for this request.
     pub fn call(&mut self, work: &Work) -> Result<Result<Reply, ServeError>, WireError> {
+        self.call_flagged(work, false)
+    }
+
+    /// [`WireClient::call`] on the warm-up lane: the request carries
+    /// `"warm":true`, so the server queues it at low priority. Used by
+    /// the router's warm-up replay after a shard joins or recovers.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::call`].
+    pub fn call_warm(&mut self, work: &Work) -> Result<Result<Reply, ServeError>, WireError> {
+        self.call_flagged(work, true)
+    }
+
+    /// Sends a ping and blocks for the pong, returning the shard
+    /// runtime's stats snapshot. Answered in the server's session loop
+    /// (never queued), so a pong proves the session is alive even when
+    /// the worker pool is saturated.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, or a malformed/mismatched pong.
+    pub fn ping(&mut self) -> Result<RuntimeStats, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        encode_ping_into(id, &mut self.line);
+        self.line.push('\n');
+        self.writer
+            .write_all(self.line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        self.reply_line.clear();
+        let n = self
+            .reader
+            .read_line(&mut self.reply_line)
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(WireError::Io("server closed the connection".into()));
+        }
+        let v = Json::parse(self.reply_line.trim_end())?;
+        let rid = v.get("id")?.u64_()?;
+        if rid != id {
+            return Err(malformed(format!(
+                "pong id {rid} does not match ping id {id}"
+            )));
+        }
+        let ok = v.get("ok")?;
+        if ok.get("kind")?.str_()? != "pong" {
+            return Err(malformed("ping answered by a non-pong reply"));
+        }
+        decode_runtime_stats(ok.get("stats")?)
+    }
+
+    fn call_flagged(
+        &mut self,
+        work: &Work,
+        warm: bool,
+    ) -> Result<Result<Reply, ServeError>, WireError> {
         let id = self.next_id;
         self.next_id += 1;
         // One syscall per message: a trailing small write of just "\n"
         // would re-trigger the Nagle stall `set_nodelay` avoids.
-        encode_request_into(id, work, &mut self.line);
+        encode_request_flagged_into(id, work, warm, &mut self.line);
         self.line.push('\n');
         self.writer
             .write_all(self.line.as_bytes())
@@ -1651,11 +1856,17 @@ impl WireClient {
         policy: &RetryPolicy,
     ) -> Result<Result<Reply, ServeError>, WireError> {
         let mut retry = 0u32;
+        // Jitter seed: the request id this exchange will use. Distinct
+        // clients (and successive requests of one client) back off on
+        // de-synchronized schedules, so N callers retrying a recovering
+        // shard don't stampede it in lockstep — while any given request
+        // id always sleeps the same amounts, keeping tests reproducible.
+        let seed = self.next_id;
         loop {
             let attempts_left = retry + 1 < policy.max_attempts.max(1);
             match self.call(work) {
                 Err(WireError::Io(e)) if attempts_left => {
-                    std::thread::sleep(policy.backoff(retry));
+                    std::thread::sleep(policy.backoff_jittered(retry, seed));
                     retry += 1;
                     // Reconnect failure is not final either — the server
                     // may still be coming back up; later attempts redial.
@@ -1668,7 +1879,7 @@ impl WireClient {
                 Err(e) => return Err(e),
                 Ok(outcome) => match &outcome {
                     Err(e) if e.retryable() && attempts_left => {
-                        std::thread::sleep(policy.backoff(retry));
+                        std::thread::sleep(policy.backoff_jittered(retry, seed));
                         retry += 1;
                     }
                     _ => return Ok(outcome),
@@ -1802,6 +2013,82 @@ mod tests {
             assert_eq!(id, Some(7));
             assert_eq!(outcome.unwrap_err(), err);
         }
+    }
+
+    #[test]
+    fn ping_and_warm_envelopes_round_trip() {
+        // Warm flag survives the codec; its absence decodes as false.
+        let req = SimRequest::suite("email-Enron", 1.0 / 512.0, Variant::ExTensorP).unwrap();
+        let mut line = String::new();
+        encode_request_flagged_into(9, &Work::Sim(req.clone()), true, &mut line);
+        let (id, parsed) = decode_request_line(&line).unwrap();
+        assert_eq!(id, 9);
+        assert!(matches!(parsed, WireRequest::Work { warm: true, .. }));
+        let plain = encode_request(10, &Work::Sim(req));
+        assert!(matches!(
+            decode_request_line(&plain).unwrap().1,
+            WireRequest::Work { warm: false, .. }
+        ));
+        // Ping decodes as Ping, and the compat work decoder refuses it.
+        line.clear();
+        encode_ping_into(11, &mut line);
+        assert!(matches!(
+            decode_request_line(&line).unwrap(),
+            (11, WireRequest::Ping)
+        ));
+        assert!(decode_request(&line).is_err());
+        // Pong carries the stats snapshot losslessly.
+        let stats = RuntimeStats {
+            submitted: 7,
+            completed: 5,
+            rejected: 1,
+            timed_out: 1,
+            faulted: 0,
+            panics_isolated: 0,
+            retries: 3,
+            injected_panics: 0,
+            injected_latency: 2,
+            injected_rejects: 0,
+            injected_drops: 4,
+        };
+        line.clear();
+        encode_pong_into(11, &stats, &mut line);
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("id").unwrap().u64_().unwrap(), 11);
+        let ok = v.get("ok").unwrap();
+        assert_eq!(ok.get("kind").unwrap().str_().unwrap(), "pong");
+        assert_eq!(
+            decode_runtime_stats(ok.get("stats").unwrap()).unwrap(),
+            stats
+        );
+    }
+
+    #[test]
+    fn serve_lines_answers_pings_outside_the_ledger() {
+        let runtime = ServiceRuntime::new(crate::runtime::RuntimeConfig::default());
+        let req = SimRequest::suite("email-Enron", 1.0 / 512.0, Variant::ExTensorP).unwrap();
+        let mut ping = String::new();
+        encode_ping_into(1, &mut ping);
+        let mut warm = String::new();
+        encode_request_flagged_into(2, &Work::Sim(req), true, &mut warm);
+        let input = format!("{ping}\n{warm}\n");
+        let mut out = Vec::new();
+        let report = serve_lines(&runtime, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(report.pings, 1);
+        assert_eq!(report.served, 1);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The pong's stats snapshot predates the warm request.
+        let v = Json::parse(lines[0]).unwrap();
+        let pong_stats = decode_runtime_stats(v.get("ok").unwrap().get("stats").unwrap()).unwrap();
+        assert_eq!(pong_stats.submitted, 0);
+        // The warm request completed and is in the shard-local ledger.
+        let (id, outcome) = decode_reply(lines[1]).unwrap();
+        assert_eq!(id, Some(2));
+        assert!(outcome.is_ok());
+        let stats = runtime.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
     }
 
     #[test]

@@ -100,4 +100,92 @@ proptest! {
             prop_assert_eq!(walked, None);
         }
     }
+
+    #[test]
+    fn joining_a_member_moves_only_keys_it_now_owns(
+        shards in 1usize..8,
+        vnodes in 1usize..100,
+        keys in proptest::collection::vec(
+            (0u64..u64::MAX, 1usize..1_000_000, 1usize..1_000_000, 0usize..10_000_000),
+            1..200,
+        ),
+    ) {
+        // `ShardRouter::join` rebuilds the ring over `members + [new]`;
+        // the churn bound it leans on is that every key either keeps its
+        // owner or moves to the *joiner* — never to a third member.
+        let before = HashRing::new(shards, vnodes);
+        let grown: Vec<usize> = (0..=shards).collect();
+        let after = HashRing::over(&grown, vnodes);
+        prop_assert_eq!(after.shards(), shards + 1);
+        for parts in keys {
+            let id = id_of(parts);
+            let old = before.assign(&id);
+            let new = after.assign(&id);
+            prop_assert!(new == old || new == shards);
+        }
+    }
+
+    #[test]
+    fn leaving_a_member_moves_only_its_keys(
+        shards in 2usize..9,
+        vnodes in 1usize..100,
+        leaver_sel in 0u64..u64::MAX,
+        keys in proptest::collection::vec(
+            (0u64..u64::MAX, 1usize..1_000_000, 1usize..1_000_000, 0usize..10_000_000),
+            1..200,
+        ),
+    ) {
+        // `ShardRouter::leave` rebuilds over the surviving member ids
+        // (slot indices unchanged — tombstones). The rebuilt ring must
+        // agree with the failover view of the full ring: keys the leaver
+        // didn't own stay put, and the leaver's keys land exactly where
+        // `assign_excluding` would have sent them.
+        let full = HashRing::new(shards, vnodes);
+        let leaver = (leaver_sel % shards as u64) as usize;
+        let survivors: Vec<usize> = (0..shards).filter(|&m| m != leaver).collect();
+        let rebuilt = HashRing::over(&survivors, vnodes);
+        prop_assert_eq!(rebuilt.shards(), shards - 1);
+        prop_assert_eq!(rebuilt.members(), survivors.as_slice());
+        let mut down = vec![false; shards];
+        down[leaver] = true;
+        for parts in keys {
+            let id = id_of(parts);
+            let before = full.assign(&id);
+            let after = rebuilt.assign(&id);
+            if before != leaver {
+                prop_assert_eq!(after, before);
+            } else {
+                prop_assert_eq!(Some(after), full.assign_excluding(&id, &down));
+            }
+        }
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_prefix_stable_and_clamped(
+        shards in 1usize..8,
+        vnodes in 1usize..64,
+        r in 0usize..10,
+        keys in proptest::collection::vec(
+            (0u64..u64::MAX, 1usize..1_000_000, 1usize..1_000_000, 0usize..10_000_000),
+            1..100,
+        ),
+    ) {
+        let ring = HashRing::new(shards, vnodes);
+        for parts in keys {
+            let id = id_of(parts);
+            let reps = ring.replicas(&id, r);
+            // R live distinct members, clamped to the fleet when r is
+            // degenerate (0 acts as 1; r >= N acts as N).
+            prop_assert_eq!(reps.len(), r.clamp(1, shards));
+            prop_assert_eq!(reps[0], ring.assign(&id));
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), reps.len());
+            // Prefix stability: the replica set is the candidate-order
+            // prefix, so widening R never reshuffles existing replicas.
+            let wider = ring.replicas(&id, r + 1);
+            prop_assert_eq!(&wider[..reps.len()], reps.as_slice());
+        }
+    }
 }
